@@ -1,0 +1,111 @@
+// Reproduces Figure 2 of the paper: for each of the 16 scenarios
+// ({advec_u, diff_uvw} x {256^3, 512^3} x {float, double} x {A100, A4000}),
+// a histogram of the performance of randomly sampled configurations,
+// expressed as fraction-of-optimum, with markers for the default
+// configuration and for configuration C (the optimum of
+// advec_u-256^3-float-A100) applied to every scenario.
+//
+// The optimum of each scenario is the best configuration known for it:
+// best of a random sample, two Bayesian-optimization runs, and every other
+// scenario's optimum applied to it (the same normalization as Figure 4).
+//
+// Usage: bench_fig2_histograms [random_samples] [bayes_evals]
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "common.hpp"
+
+using namespace kl;
+using namespace kl::bench;
+
+int main(int argc, char** argv) {
+    const int samples = argc > 1 ? std::atoi(argv[1]) : 1500;
+    const int bayes = argc > 2 ? std::atoi(argv[2]) : 400;
+
+    std::printf("=== Figure 2: performance distribution per scenario ===\n");
+    std::printf("(random sample: %d configs, optimum: sample + %d bayes evals + transfers)\n\n",
+                samples, bayes);
+
+    // Tune each kernel's eight scenarios with Figure 4's methodology.
+    std::vector<ScenarioStudy> studies;
+    for (const char* kernel : {"advec_u", "diff_uvw"}) {
+        std::vector<Scenario> scenarios;
+        for (const char* device : {"NVIDIA A100-PCIE-40GB", "NVIDIA RTX A4000"}) {
+            for (int grid : {256, 512}) {
+                for (microhh::Precision prec :
+                     {microhh::Precision::Float32, microhh::Precision::Float64}) {
+                    scenarios.push_back(Scenario {kernel, grid, prec, device});
+                }
+            }
+        }
+        CrossStudy cross = cross_study(scenarios, samples, bayes, 1000);
+        for (ScenarioStudy& study : cross.studies) {
+            studies.push_back(std::move(study));
+        }
+    }
+
+    // Configuration C: the optimum of advec_u-256^3-float-A100.
+    const ScenarioStudy* study_c = nullptr;
+    for (const ScenarioStudy& s : studies) {
+        if (s.scenario.label() == "advec_u-256^3-float-A100") {
+            study_c = &s;
+        }
+    }
+
+    if (study_c != nullptr) {
+        std::printf("configuration C = %s\n\n", study_c->best_config.to_string().c_str());
+    }
+
+    double default_fraction_sum = 0;
+    int config_c_worse_than_default = 0;
+
+    for (const ScenarioStudy& study : studies) {
+        std::vector<double> fractions;
+        fractions.reserve(study.sample_seconds.size());
+        for (double t : study.sample_seconds) {
+            fractions.push_back(study.fraction_of_optimum(t));
+        }
+        const double default_fraction =
+            study.fraction_of_optimum(study.default_seconds);
+        default_fraction_sum += default_fraction;
+
+        // Apply configuration C to this scenario.
+        double config_c_fraction = 0;
+        if (study_c != nullptr) {
+            ScenarioEvaluator evaluator(study.scenario);
+            double t = evaluator.time_of(study_c->best_config);
+            config_c_fraction = t > 0 ? study.fraction_of_optimum(t) : 0.0;
+        }
+        if (config_c_fraction < default_fraction) {
+            config_c_worse_than_default++;
+        }
+
+        int within10 = 0;
+        for (double f : fractions) {
+            if (f >= 1.0 / 1.10) {
+                within10++;
+            }
+        }
+
+        std::printf("--- %s ---\n", study.scenario.label().c_str());
+        std::printf(
+            "optimum %.4f ms | default %.4f ms (%.0f%% of optimum) | "
+            "config C at %.0f%% | %.1f%% of sampled configs within 10%%\n",
+            study.best_seconds * 1e3, study.default_seconds * 1e3,
+            default_fraction * 100, config_c_fraction * 100,
+            100.0 * within10 / std::max<size_t>(1, fractions.size()));
+        print_fraction_histogram(fractions, default_fraction, config_c_fraction);
+        std::printf("\n");
+    }
+
+    std::printf("=== summary ===\n");
+    std::printf(
+        "average default fraction-of-optimum over 16 scenarios: %.0f%% (paper: ~75%%)\n",
+        100.0 * default_fraction_sum / studies.size());
+    std::printf(
+        "config C performs worse than the default in %d of 16 scenarios (paper: 11/16)\n",
+        config_c_worse_than_default);
+    return 0;
+}

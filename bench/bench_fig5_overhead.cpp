@@ -1,0 +1,109 @@
+// Reproduces Figure 5 of the paper: the cost of the first launch of a
+// WisdomKernel (reading the wisdom file, NVRTC runtime compilation,
+// cuModuleLoad, cuLaunchKernel) versus subsequent launches, which reuse
+// the compiled instance and only pay the ~3 us kernel-launch overhead.
+//
+// The breakdown is reported in simulated time (the quantity the paper
+// measures on real hardware). A google-benchmark section at the end
+// additionally measures the *host-side* cost of the warm launch path of
+// this library implementation itself.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "common.hpp"
+#include "util/fs.hpp"
+
+using namespace kl;
+using namespace kl::bench;
+
+namespace {
+
+struct Fixture {
+    std::unique_ptr<sim::Context> context;
+    std::unique_ptr<core::CapturedLaunch> capture;
+    std::unique_ptr<core::CapturedLaunch::Replay> replay;
+    std::unique_ptr<core::WisdomKernel> kernel;
+
+    explicit Fixture(const std::string& wisdom_dir) {
+        Scenario scenario {
+            "advec_u", 256, microhh::Precision::Float32, "NVIDIA A100-PCIE-40GB"};
+        context = sim::Context::create(scenario.device, sim::ExecutionMode::TimingOnly);
+        capture = std::make_unique<core::CapturedLaunch>(make_scenario_capture(scenario));
+        replay = std::make_unique<core::CapturedLaunch::Replay>(*capture, *context);
+        kernel = std::make_unique<core::WisdomKernel>(
+            capture->def, core::WisdomSettings().wisdom_dir(wisdom_dir));
+    }
+
+    void launch() {
+        kernel->launch_args(replay->args());
+    }
+};
+
+std::string g_wisdom_dir;
+
+void BM_WarmLaunchHostOverhead(benchmark::State& state) {
+    Fixture fixture(g_wisdom_dir);
+    fixture.launch();  // cold launch outside the measurement
+    for (auto _ : state) {
+        fixture.launch();
+    }
+    state.SetLabel("host-side library overhead of a warm WisdomKernel launch");
+}
+BENCHMARK(BM_WarmLaunchHostOverhead);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    g_wisdom_dir = make_temp_dir("kl-fig5");
+
+    // Seed a wisdom file so the first launch exercises the full path
+    // (read + match + compile + load + launch).
+    {
+        Scenario scenario {
+            "advec_u", 256, microhh::Precision::Float32, "NVIDIA A100-PCIE-40GB"};
+        core::CapturedLaunch capture = make_scenario_capture(scenario);
+        auto context = sim::Context::create(scenario.device, sim::ExecutionMode::TimingOnly);
+        tuner::SessionOptions options;
+        options.max_evals = 200;
+        tuner::tune_capture_to_wisdom(capture, *context, "bayes", g_wisdom_dir, options);
+    }
+
+    std::printf("=== Figure 5: first vs subsequent launch overhead ===\n\n");
+
+    Fixture fixture(g_wisdom_dir);
+    double before = fixture.context->clock().now();
+    fixture.launch();
+    double first_total = fixture.context->clock().now() - before;
+    const core::OverheadBreakdown& cold = fixture.kernel->last_cold_overhead();
+
+    std::printf("first launch (simulated): %.1f ms total (paper: ~294 ms)\n",
+                first_total * 1e3);
+    auto line = [&](const char* label, double seconds) {
+        std::printf("  %-28s %8.3f ms  (%4.1f%%)\n", label, seconds * 1e3,
+                    100.0 * seconds / cold.total());
+    };
+    line("read wisdom file", cold.wisdom_seconds);
+    line("nvrtcCompileProgram", cold.compile_seconds);
+    line("cuModuleLoad", cold.module_load_seconds);
+    line("cuLaunchKernel", cold.launch_seconds);
+    std::printf("  (paper: NVRTC accounts for ~80%% of the first-launch overhead)\n\n");
+
+    // Subsequent launches: simulated host cost per launch.
+    const int warm_launches = 1000;
+    before = fixture.context->clock().now();
+    for (int i = 0; i < warm_launches; i++) {
+        fixture.launch();
+    }
+    double warm = (fixture.context->clock().now() - before) / warm_launches;
+    std::printf(
+        "subsequent launches (simulated): %.2f us per launch (paper: ~3 us)\n\n",
+        warm * 1e6);
+
+    std::printf("--- google-benchmark: real host-side warm-launch cost ---\n");
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

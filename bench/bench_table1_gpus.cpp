@@ -1,0 +1,34 @@
+// Reproduces Table 1 of the paper: the properties of the GPUs used in the
+// evaluation, as reported by the simulated device registry.
+
+#include <cstdio>
+
+#include "cudasim/device_props.hpp"
+
+using namespace kl;
+
+int main() {
+    std::printf("=== Table 1: GPUs used in the experiments ===\n\n");
+    std::printf(
+        "%-24s %-10s %-8s %6s %8s %9s %9s\n", "GPU", "Arch", "Chip", "SMs",
+        "BW GB/s", "Peak SP", "Peak DP");
+    for (const char* name : {"NVIDIA RTX A4000", "NVIDIA A100-PCIE-40GB"}) {
+        const sim::DeviceProperties& p = sim::DeviceRegistry::global().by_name(name);
+        std::printf(
+            "%-24s %-10s %-8s %6d %8.0f %9.0f %9.0f\n", p.name.c_str(),
+            p.architecture.c_str(), p.chip.c_str(), p.sm_count, p.memory_bandwidth_gbs,
+            p.peak_sp_gflops, p.peak_dp_gflops);
+    }
+    std::printf(
+        "\npaper: A4000 (GA104) BW 448, SP 19170, DP 599; "
+        "A100 (GA100) BW 1555, SP 19500, DP 9700\n");
+
+    std::printf("\nadditional simulated devices available to the selection heuristic:\n");
+    for (const sim::DeviceProperties& p : sim::DeviceRegistry::global().all()) {
+        std::printf(
+            "  %-24s %-10s cc %s, %d SMs, L2 %.0f MB\n", p.name.c_str(),
+            p.architecture.c_str(), p.compute_capability().c_str(), p.sm_count,
+            static_cast<double>(p.l2_cache_bytes) / (1024 * 1024));
+    }
+    return 0;
+}

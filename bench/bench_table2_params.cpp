@@ -1,0 +1,50 @@
+// Reproduces Table 2 of the paper: the tunable parameters of the MicroHH
+// kernels, their allowed values and defaults, plus the resulting search
+// space cardinality ("more than 7.7 million kernel configurations").
+
+#include <cstdio>
+
+#include "common.hpp"
+
+using namespace kl;
+using namespace kl::bench;
+
+int main() {
+    std::printf("=== Table 2: tunable parameters and default values ===\n\n");
+
+    core::KernelDef def =
+        microhh::make_advec_u_builder(microhh::Precision::Float32).build();
+
+    std::printf("%-20s %-42s %s\n", "Name", "Values", "Default");
+    for (const core::TunableParam& param : def.space.params()) {
+        std::string values;
+        for (size_t i = 0; i < param.values.size(); i++) {
+            if (i > 0) {
+                values += ", ";
+            }
+            values += param.values[i].to_string();
+        }
+        std::printf(
+            "%-20s %-42s %s\n", param.name.c_str(), values.c_str(),
+            param.default_value.to_string().c_str());
+    }
+
+    std::printf("\nsearch space cardinality: %llu configurations (paper: >7.7 million)\n",
+                static_cast<unsigned long long>(def.space.cardinality()));
+    std::printf("restrictions: %zu (thread-block size within [32, 1024])\n",
+                def.space.restrictions().size());
+
+    // Count the launchable fraction via sampling.
+    Rng rng(7);
+    int valid = 0;
+    const int trials = 20000;
+    for (int i = 0; i < trials; i++) {
+        core::Config config = def.space.config_at(rng.next_below(def.space.cardinality()));
+        if (def.space.satisfies_restrictions(config)) {
+            valid++;
+        }
+    }
+    std::printf("launchable after restrictions: ~%.0f%% of the cartesian space\n",
+                100.0 * valid / trials);
+    return 0;
+}

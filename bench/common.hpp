@@ -1,0 +1,125 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/kernel_launcher.hpp"
+#include "cudasim/context.hpp"
+#include "microhh/definitions.hpp"
+#include "tuner/session.hpp"
+
+namespace kl::bench {
+
+/// One evaluation scenario of the paper (§5.4): a kernel, a cubic grid
+/// size, a floating-point precision, and a GPU. The paper's 16 scenarios
+/// are the cross product {advec_u, diff_uvw} x {256^3, 512^3} x
+/// {float, double} x {A100, A4000}.
+struct Scenario {
+    std::string kernel;  ///< "advec_u" or "diff_uvw"
+    int grid = 256;
+    microhh::Precision precision = microhh::Precision::Float32;
+    std::string device;  ///< full registry name
+
+    /// "advec_u-256^3-float-A100"
+    std::string label() const;
+    /// "A100" / "A4000"
+    std::string device_short() const;
+
+    core::KernelDef def() const;
+};
+
+/// All 16 paper scenarios, ordered kernel-major as in Figure 2.
+std::vector<Scenario> paper_scenarios();
+
+/// The four sub-scenarios (grid x precision) of one kernel on one device.
+std::vector<Scenario> scenarios_for(const std::string& kernel, const std::string& device);
+
+/// Builds an in-memory capture of the scenario's launch: full kernel
+/// definition plus argument metadata (buffers carry no payload — tuning
+/// sweeps run the simulator in timing-only mode).
+core::CapturedLaunch make_scenario_capture(const Scenario& scenario);
+
+/// Benchmarks configurations of one scenario against the simulated device.
+/// Construction cost is paid once; evaluations reuse the device context.
+class ScenarioEvaluator {
+  public:
+    explicit ScenarioEvaluator(const Scenario& scenario): ScenarioEvaluator(scenario, 1, 0) {}
+    ScenarioEvaluator(const Scenario& scenario, int iterations, int warmup);
+
+    /// Measured kernel seconds of a configuration (deterministic), or a
+    /// negative value when the configuration cannot be launched.
+    double time_of(const core::Config& config);
+
+    const core::CapturedLaunch& capture() const {
+        return *capture_;
+    }
+    sim::Context& context() {
+        return *context_;
+    }
+    tuner::CaptureReplayRunner& runner() {
+        return *runner_;
+    }
+
+  private:
+    Scenario scenario_;
+    std::unique_ptr<core::CapturedLaunch> capture_;
+    std::unique_ptr<sim::Context> context_;
+    std::unique_ptr<tuner::CaptureReplayRunner> runner_;
+};
+
+/// Random-sample study of a scenario's configuration space plus its
+/// (approximate) optimum: best of the random sample refined by a Bayesian
+/// optimization session — the paper's "best found after one hour" notion.
+struct ScenarioStudy {
+    Scenario scenario;
+    std::vector<double> sample_seconds;  ///< valid random-sample times
+    core::Config best_config;
+    double best_seconds = 0;
+    core::Config default_config;
+    double default_seconds = 0;
+
+    /// Fraction-of-optimum of a time (paper's metric): best/t, in (0,1].
+    double fraction_of_optimum(double seconds) const {
+        return best_seconds / seconds;
+    }
+};
+
+ScenarioStudy study_scenario(
+    const Scenario& scenario,
+    int random_samples,
+    uint64_t random_evals_budget_seed,
+    int bayes_evals);
+
+/// Cross-application study over a set of same-kernel scenarios: tunes each
+/// scenario, applies every scenario's optimum to every other, and
+/// normalizes against the best *known* configuration per scenario (column
+/// best) — the paper's "fraction of optimum" methodology.
+struct CrossStudy {
+    std::vector<ScenarioStudy> studies;  ///< optima updated to column best
+    /// fraction[i][j]: optimum of scenario i applied to scenario j.
+    std::vector<std::vector<double>> fraction;
+    /// default_fraction[j]: the default configuration in scenario j.
+    std::vector<double> default_fraction;
+};
+
+CrossStudy cross_study(
+    const std::vector<Scenario>& scenarios,
+    int random_samples,
+    int bayes_evals,
+    uint64_t seed_base);
+
+/// Renders an ASCII histogram of fraction-of-optimum values in [0,1],
+/// with markers, mirroring one panel of the paper's Figure 2.
+void print_fraction_histogram(
+    const std::vector<double>& fractions,
+    double default_fraction,
+    double config_c_fraction,
+    int bins = 25,
+    int width = 52);
+
+/// Performance-portability metric of Pennycook et al. (harmonic mean of
+/// the per-scenario efficiencies); zero when any efficiency is zero.
+double performance_portability(const std::vector<double>& efficiencies);
+
+}  // namespace kl::bench

@@ -1,0 +1,170 @@
+// kl_tune — command-line tuner for kernel captures, the stand-in for the
+// Kernel-Tuner-based script the paper describes in §4.3. Reads a capture
+// produced by KERNEL_LAUNCHER_CAPTURE, explores its configuration space on
+// the requested simulated device, and appends the best configuration to
+// the kernel's wisdom file.
+//
+// Usage:
+//   kl_tune <capture.json> [options]
+//     --device <name>      simulated GPU (default: capture's device)
+//     --strategy <name>    exhaustive|random|anneal|genetic|bayes (default bayes)
+//     --minutes <m>        simulated tuning budget (default 15, as the paper)
+//     --evals <n>          evaluation cap (default unlimited)
+//     --wisdom <dir>       wisdom output directory (default: capture's dir)
+//     --cache <file>       persistent tuning cache (resume interrupted runs)
+//     --validate           functionally validate outputs per configuration
+//     --list-devices       print the simulated device registry and exit
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "cudasim/context.hpp"
+#include "microhh/kernels.hpp"
+#include "tuner/cache.hpp"
+#include "tuner/session.hpp"
+#include "util/errors.hpp"
+
+using namespace kl;
+
+namespace {
+
+int usage() {
+    std::fprintf(
+        stderr,
+        "usage: kl_tune <capture.json> [--device NAME] [--strategy S] [--minutes M]\n"
+        "               [--evals N] [--wisdom DIR] [--validate] [--list-devices]\n");
+    return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::string capture_path, device, strategy = "bayes", wisdom_dir, cache_path;
+    double minutes = 15;
+    uint64_t evals = UINT64_MAX;
+    bool validate = false;
+
+    for (int i = 1; i < argc; i++) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char* {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "option %s expects a value\n", arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--list-devices") {
+            for (const sim::DeviceProperties& p : sim::DeviceRegistry::global().all()) {
+                std::printf("%s (%s, cc %s)\n", p.name.c_str(), p.architecture.c_str(),
+                            p.compute_capability().c_str());
+            }
+            return 0;
+        } else if (arg == "--device") {
+            device = next();
+        } else if (arg == "--strategy") {
+            strategy = next();
+        } else if (arg == "--minutes") {
+            minutes = std::atof(next());
+        } else if (arg == "--evals") {
+            evals = static_cast<uint64_t>(std::atoll(next()));
+        } else if (arg == "--wisdom") {
+            wisdom_dir = next();
+        } else if (arg == "--cache") {
+            cache_path = next();
+        } else if (arg == "--validate") {
+            validate = true;
+        } else if (arg.rfind("--", 0) == 0) {
+            return usage();
+        } else if (capture_path.empty()) {
+            capture_path = arg;
+        } else {
+            return usage();
+        }
+    }
+    if (capture_path.empty()) {
+        return usage();
+    }
+
+    try {
+        microhh::register_microhh_kernels();
+        core::CapturedLaunch capture = core::read_capture(capture_path, validate);
+        if (device.empty()) {
+            device = capture.device_name;
+        }
+        if (wisdom_dir.empty()) {
+            size_t slash = capture_path.find_last_of('/');
+            wisdom_dir = slash == std::string::npos ? "." : capture_path.substr(0, slash);
+        }
+
+        std::printf("kernel     : %s (%s)\n", capture.def.key().c_str(),
+                    capture.problem_size.to_string().c_str());
+        std::printf("device     : %s\n", device.c_str());
+        std::printf("strategy   : %s, budget %.1f min%s\n", strategy.c_str(), minutes,
+                    validate ? ", with output validation" : "");
+        std::printf("space      : %llu configurations\n",
+                    static_cast<unsigned long long>(capture.def.space.cardinality()));
+
+        auto context = sim::Context::create(
+            device,
+            validate ? sim::ExecutionMode::Functional : sim::ExecutionMode::TimingOnly);
+
+        tuner::SessionOptions options;
+        options.max_seconds = minutes * 60;
+        options.max_evals = evals;
+        options.per_eval_overhead_seconds = 0.8;
+        tuner::CaptureReplayRunner::Options runner_options;
+        runner_options.validate = validate;
+
+        tuner::TuningResult result;
+        if (cache_path.empty()) {
+            result = tuner::tune_capture_to_wisdom(
+                capture, *context, strategy, wisdom_dir, options, runner_options);
+        } else {
+            // Cached tuning: resumable across interrupted invocations.
+            tuner::TuningCache cache(
+                cache_path, capture.def.key(), device, capture.problem_size);
+            tuner::CaptureReplayRunner raw(capture, *context, runner_options);
+            tuner::CachingRunner runner(raw, cache);
+            tuner::TuningSession session(
+                runner, capture.def.space, tuner::make_strategy(strategy), options);
+            result = session.run();
+            std::printf("cache      : %llu hits, %llu fresh evaluations (%s)\n",
+                        static_cast<unsigned long long>(runner.hits()),
+                        static_cast<unsigned long long>(runner.misses()),
+                        cache_path.c_str());
+            if (result.success) {
+                core::WisdomRecord record;
+                record.problem_size = capture.problem_size;
+                record.device_name = context->device().name;
+                record.device_architecture = context->device().architecture;
+                record.config = result.best_config;
+                record.time_seconds = result.best_seconds;
+                record.provenance = core::make_provenance(strategy);
+                const std::string path =
+                    wisdom_dir + "/" + capture.def.key() + ".wisdom.json";
+                core::WisdomFile wisdom = core::WisdomFile::load(path, capture.def.key());
+                wisdom.add(record);
+                wisdom.save(path);
+            }
+        }
+
+        if (!result.success) {
+            std::fprintf(stderr, "tuning failed: no valid configuration found\n");
+            return 1;
+        }
+        std::printf(
+            "\nbest       : %.4f ms after %llu evaluations (%llu invalid, %.1f simulated min)\n",
+            result.best_seconds * 1e3,
+            static_cast<unsigned long long>(result.evaluations),
+            static_cast<unsigned long long>(result.invalid_evaluations),
+            result.wall_seconds / 60);
+        std::printf("config     : %s\n", result.best_config.to_string().c_str());
+        std::printf("wisdom     : %s/%s.wisdom.json\n", wisdom_dir.c_str(),
+                    capture.def.key().c_str());
+        return 0;
+    } catch (const Error& e) {
+        std::fprintf(stderr, "kl_tune: %s\n", e.what());
+        return 1;
+    }
+}

@@ -1,0 +1,250 @@
+#include "core/config.hpp"
+
+#include <algorithm>
+
+#include "util/errors.hpp"
+
+namespace kl::core {
+
+json::Value TunableParam::to_json() const {
+    json::Value out = json::Value::object();
+    out["name"] = name;
+    json::Value vals = json::Value::array();
+    for (const Value& v : values) {
+        vals.push_back(v.to_json());
+    }
+    out["values"] = std::move(vals);
+    out["default"] = default_value.to_json();
+    return out;
+}
+
+TunableParam TunableParam::from_json(const json::Value& v) {
+    TunableParam param;
+    param.name = v["name"].as_string();
+    for (const json::Value& item : v["values"].as_array()) {
+        param.values.push_back(Value::from_json(item));
+    }
+    param.default_value = Value::from_json(v["default"]);
+    if (param.values.empty()) {
+        throw Error("tunable parameter '" + param.name + "' has no values");
+    }
+    return param;
+}
+
+const Value& Config::at(const std::string& name) const {
+    auto it = values_.find(name);
+    if (it == values_.end()) {
+        throw Error("configuration has no parameter '" + name + "'");
+    }
+    return it->second;
+}
+
+uint64_t Config::digest() const {
+    uint64_t hash = 0x4CF5'AD43'2745'937Full;
+    for (const auto& [name, value] : values_) {
+        hash = hash_combine(hash, fnv1a(name));
+        hash = hash_combine(hash, fnv1a(value.to_string()));
+    }
+    return hash;
+}
+
+std::string Config::to_string() const {
+    std::string out;
+    for (const auto& [name, value] : values_) {
+        if (!out.empty()) {
+            out += ", ";
+        }
+        out += name + "=" + value.to_string();
+    }
+    return out;
+}
+
+json::Value Config::to_json() const {
+    json::Value out = json::Value::object();
+    for (const auto& [name, value] : values_) {
+        out[name] = value.to_json();
+    }
+    return out;
+}
+
+Config Config::from_json(const json::Value& v) {
+    Config config;
+    for (const auto& [name, value] : v.as_object()) {
+        config.set(name, Value::from_json(value));
+    }
+    return config;
+}
+
+Expr ConfigSpace::tune(std::string name, std::vector<Value> values) {
+    if (values.empty()) {
+        throw Error("tunable parameter '" + name + "' needs at least one value");
+    }
+    Value default_value = values.front();
+    return tune(std::move(name), std::move(values), std::move(default_value));
+}
+
+Expr ConfigSpace::tune(std::string name, std::vector<Value> values, Value default_value) {
+    TunableParam param;
+    param.name = std::move(name);
+    param.values = std::move(values);
+    param.default_value = std::move(default_value);
+    std::string param_name = param.name;
+    add(std::move(param));
+    return Expr::param(std::move(param_name));
+}
+
+void ConfigSpace::add(TunableParam param) {
+    if (param.values.empty()) {
+        throw Error("tunable parameter '" + param.name + "' needs at least one value");
+    }
+    if (contains(param.name)) {
+        throw Error("duplicate tunable parameter '" + param.name + "'");
+    }
+    if (std::find(param.values.begin(), param.values.end(), param.default_value)
+        == param.values.end()) {
+        throw Error(
+            "default value " + param.default_value.to_string() + " of parameter '"
+            + param.name + "' is not in its value list");
+    }
+    params_.push_back(std::move(param));
+}
+
+void ConfigSpace::restrict(Expr condition) {
+    std::set<std::string> referenced;
+    condition.collect_params(referenced);
+    for (const std::string& name : referenced) {
+        if (!contains(name)) {
+            throw Error("restriction references unknown parameter '" + name + "'");
+        }
+    }
+    restrictions_.push_back(std::move(condition));
+}
+
+bool ConfigSpace::contains(const std::string& name) const {
+    for (const TunableParam& param : params_) {
+        if (param.name == name) {
+            return true;
+        }
+    }
+    return false;
+}
+
+const TunableParam& ConfigSpace::at(const std::string& name) const {
+    for (const TunableParam& param : params_) {
+        if (param.name == name) {
+            return param;
+        }
+    }
+    throw Error("no tunable parameter named '" + name + "'");
+}
+
+uint64_t ConfigSpace::cardinality() const {
+    uint64_t total = 1;
+    for (const TunableParam& param : params_) {
+        total *= static_cast<uint64_t>(param.values.size());
+    }
+    return total;
+}
+
+Config ConfigSpace::default_config() const {
+    Config config;
+    for (const TunableParam& param : params_) {
+        config.set(param.name, param.default_value);
+    }
+    return config;
+}
+
+Config ConfigSpace::config_at(uint64_t index) const {
+    if (index >= cardinality()) {
+        throw Error("configuration index out of range");
+    }
+    Config config;
+    for (const TunableParam& param : params_) {
+        uint64_t radix = param.values.size();
+        config.set(param.name, param.values[static_cast<size_t>(index % radix)]);
+        index /= radix;
+    }
+    return config;
+}
+
+bool ConfigSpace::is_valid(const Config& config) const {
+    if (config.size() != params_.size()) {
+        return false;
+    }
+    for (const TunableParam& param : params_) {
+        if (!config.contains(param.name)) {
+            return false;
+        }
+        const Value& v = config.at(param.name);
+        if (std::find(param.values.begin(), param.values.end(), v) == param.values.end()) {
+            return false;
+        }
+    }
+    return satisfies_restrictions(config);
+}
+
+bool ConfigSpace::satisfies_restrictions(const Config& config) const {
+    ConfigContext ctx(config);
+    for (const Expr& restriction : restrictions_) {
+        if (!restriction.eval(ctx).truthy()) {
+            return false;
+        }
+    }
+    return true;
+}
+
+std::optional<Config> ConfigSpace::random_config(Rng& rng, int max_attempts) const {
+    uint64_t total = cardinality();
+    if (total == 0) {
+        return std::nullopt;
+    }
+    for (int attempt = 0; attempt < max_attempts; attempt++) {
+        Config config = config_at(rng.next_below(total));
+        if (satisfies_restrictions(config)) {
+            return config;
+        }
+    }
+    return std::nullopt;
+}
+
+std::vector<Config> ConfigSpace::enumerate_valid(uint64_t limit) const {
+    std::vector<Config> out;
+    uint64_t total = cardinality();
+    for (uint64_t i = 0; i < total && out.size() < limit; i++) {
+        Config config = config_at(i);
+        if (satisfies_restrictions(config)) {
+            out.push_back(std::move(config));
+        }
+    }
+    return out;
+}
+
+json::Value ConfigSpace::to_json() const {
+    json::Value out = json::Value::object();
+    json::Value params = json::Value::array();
+    for (const TunableParam& param : params_) {
+        params.push_back(param.to_json());
+    }
+    out["parameters"] = std::move(params);
+    json::Value restrictions = json::Value::array();
+    for (const Expr& restriction : restrictions_) {
+        restrictions.push_back(restriction.to_json());
+    }
+    out["restrictions"] = std::move(restrictions);
+    return out;
+}
+
+ConfigSpace ConfigSpace::from_json(const json::Value& v) {
+    ConfigSpace space;
+    for (const json::Value& param : v["parameters"].as_array()) {
+        space.add(TunableParam::from_json(param));
+    }
+    if (const json::Value* restrictions = v.find("restrictions")) {
+        for (const json::Value& restriction : restrictions->as_array()) {
+            space.restrict(Expr::from_json(restriction));
+        }
+    }
+    return space;
+}
+
+}  // namespace kl::core

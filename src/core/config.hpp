@@ -1,0 +1,152 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/expr.hpp"
+#include "core/value.hpp"
+#include "util/rng.hpp"
+
+namespace kl::core {
+
+/// One tunable parameter: a name, the list of allowed values, and the
+/// default used when a kernel has not been tuned (paper §4.1, Table 2).
+struct TunableParam {
+    std::string name;
+    std::vector<Value> values;
+    Value default_value;
+
+    json::Value to_json() const;
+    static TunableParam from_json(const json::Value& v);
+};
+
+/// An assignment of a value to every tunable parameter of a kernel.
+class Config {
+  public:
+    Config() = default;
+
+    void set(std::string name, Value value) {
+        values_[std::move(name)] = std::move(value);
+    }
+
+    bool contains(const std::string& name) const {
+        return values_.count(name) != 0;
+    }
+
+    /// Throws kl::Error when the parameter is absent.
+    const Value& at(const std::string& name) const;
+
+    const std::map<std::string, Value>& values() const {
+        return values_;
+    }
+
+    size_t size() const {
+        return values_.size();
+    }
+
+    /// Stable digest for caching compiled instances.
+    uint64_t digest() const;
+
+    /// "block_size_x=32, tile_x=2, ..." rendering for logs and reports.
+    std::string to_string() const;
+
+    json::Value to_json() const;
+    static Config from_json(const json::Value& v);
+
+    bool operator==(const Config& other) const {
+        return values_ == other.values_;
+    }
+    bool operator!=(const Config& other) const {
+        return !(*this == other);
+    }
+    /// Lexicographic order so Configs can key std::map.
+    bool operator<(const Config& other) const {
+        return values_ < other.values_;
+    }
+
+  private:
+    std::map<std::string, Value> values_;
+};
+
+/// EvalContext that resolves parameter references from a Config.
+class ConfigContext: public EvalContext {
+  public:
+    explicit ConfigContext(const Config& config): config_(&config) {}
+
+    std::optional<Value> param(const std::string& name) const override {
+        if (!config_->contains(name)) {
+            return std::nullopt;
+        }
+        return config_->at(name);
+    }
+
+  private:
+    const Config* config_;
+};
+
+/// The tunable search space of a kernel: the parameters, their value lists,
+/// and boolean restriction expressions (paper §4.1). The full cartesian
+/// space can be huge (7.7M configurations for the paper's stencil kernels),
+/// so enumeration is lazy: configurations are decoded on demand from a
+/// mixed-radix index.
+class ConfigSpace {
+  public:
+    /// Adds a tunable parameter and returns an expression referencing it.
+    /// The default value must be one of `values`; when omitted, the first
+    /// value is the default. Throws on duplicates or empty value lists.
+    Expr tune(std::string name, std::vector<Value> values);
+    Expr tune(std::string name, std::vector<Value> values, Value default_value);
+
+    void add(TunableParam param);
+
+    /// Adds a boolean restriction; configurations where it evaluates to
+    /// false are excluded from the space.
+    void restrict(Expr condition);
+
+    const std::vector<TunableParam>& params() const {
+        return params_;
+    }
+    const std::vector<Expr>& restrictions() const {
+        return restrictions_;
+    }
+
+    bool contains(const std::string& name) const;
+    const TunableParam& at(const std::string& name) const;
+
+    /// Number of configurations in the cartesian product, before
+    /// restrictions are applied.
+    uint64_t cardinality() const;
+
+    Config default_config() const;
+
+    /// Decodes the `index`-th configuration of the cartesian product
+    /// (mixed-radix, parameter 0 fastest). Does not check restrictions.
+    Config config_at(uint64_t index) const;
+
+    /// True when every parameter is present with an allowed value and all
+    /// restrictions hold.
+    bool is_valid(const Config& config) const;
+
+    /// True when all restrictions hold (membership not re-checked).
+    bool satisfies_restrictions(const Config& config) const;
+
+    /// Uniform sample from the *valid* space via rejection; nullopt when
+    /// no valid configuration was found within `max_attempts`.
+    std::optional<Config> random_config(Rng& rng, int max_attempts = 1000) const;
+
+    /// Enumerates every valid configuration. Practical only for small
+    /// spaces (tests, exhaustive tuning of toy kernels).
+    std::vector<Config> enumerate_valid(uint64_t limit = UINT64_MAX) const;
+
+    json::Value to_json() const;
+    static ConfigSpace from_json(const json::Value& v);
+
+  private:
+    std::vector<TunableParam> params_;
+    std::vector<Expr> restrictions_;
+};
+
+}  // namespace kl::core

@@ -1,0 +1,103 @@
+#pragma once
+
+#include <vector>
+
+#include "core/kernel_arg.hpp"
+#include "cudasim/context.hpp"
+#include "util/errors.hpp"
+
+namespace kl::core {
+
+/// RAII-owned, typed device allocation on the current simulated context.
+/// Passing a DeviceArray to a kernel launch produces a buffer KernelArg
+/// that carries its element type and length (which makes captures and
+/// bound-checked replays possible).
+template<typename T>
+class DeviceArray {
+  public:
+    explicit DeviceArray(size_t count, sim::Context& context = sim::Context::current()):
+        context_(&context),
+        count_(count),
+        ptr_(context.malloc(count * sizeof(T))) {}
+
+    DeviceArray(const std::vector<T>& host, sim::Context& context = sim::Context::current()):
+        DeviceArray(host.size(), context) {
+        copy_from_host(host);
+    }
+
+    ~DeviceArray() {
+        if (ptr_ != 0) {
+            try {
+                context_->free(ptr_);
+            } catch (...) {
+                // Context already torn down; nothing sensible to do.
+            }
+        }
+    }
+
+    DeviceArray(DeviceArray&& other) noexcept:
+        context_(other.context_),
+        count_(other.count_),
+        ptr_(other.ptr_) {
+        other.ptr_ = 0;
+        other.count_ = 0;
+    }
+
+    DeviceArray& operator=(DeviceArray&& other) noexcept {
+        if (this != &other) {
+            if (ptr_ != 0) {
+                context_->free(ptr_);
+            }
+            context_ = other.context_;
+            count_ = other.count_;
+            ptr_ = other.ptr_;
+            other.ptr_ = 0;
+            other.count_ = 0;
+        }
+        return *this;
+    }
+
+    DeviceArray(const DeviceArray&) = delete;
+    DeviceArray& operator=(const DeviceArray&) = delete;
+
+    sim::DevicePtr ptr() const noexcept {
+        return ptr_;
+    }
+    size_t size() const noexcept {
+        return count_;
+    }
+    uint64_t byte_size() const noexcept {
+        return count_ * sizeof(T);
+    }
+
+    void copy_from_host(const std::vector<T>& host) {
+        if (host.size() != count_) {
+            throw Error("DeviceArray::copy_from_host: size mismatch");
+        }
+        context_->memcpy_htod(ptr_, host.data(), byte_size());
+    }
+
+    std::vector<T> copy_to_host() const {
+        std::vector<T> host(count_);
+        context_->memcpy_dtoh(host.data(), ptr_, byte_size());
+        return host;
+    }
+
+    void fill_zero() {
+        context_->memset_d8(ptr_, 0, byte_size());
+    }
+
+  private:
+    sim::Context* context_;
+    size_t count_;
+    sim::DevicePtr ptr_;
+};
+
+template<typename T>
+struct kernel_arg_traits<DeviceArray<T>> {
+    static KernelArg to_arg(const DeviceArray<T>& array) {
+        return KernelArg::buffer(array.ptr(), scalar_type_of<T>(), array.size());
+    }
+};
+
+}  // namespace kl::core

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <string_view>
+
+#include "core/expr.hpp"
+
+namespace kl::core {
+
+/// Parses a C-like expression into an Expr. The grammar (in decreasing
+/// precedence):
+///
+///   primary   := INT | FLOAT | 'true' | 'false' | STRING | IDENT
+///              | IDENT '(' args ')' | '(' ternary ')' | ('-'|'!') primary
+///   mul       := primary (('*'|'/'|'%') primary)*
+///   add       := mul (('+'|'-') mul)*
+///   compare   := add (('<'|'<='|'>'|'>='|'=='|'!=') add)*
+///   and       := compare ('&&' compare)*
+///   or        := and ('||' and)*
+///   ternary   := or ('?' ternary ':' ternary)?
+///
+/// Identifiers resolve to:
+///   - `argN`                      -> kernel argument N
+///   - `problem_size_x/y/z` (and `problem_x/y/z`) -> problem-size axes
+///   - anything else              -> tunable parameter reference
+/// Call syntax supports the builtin functions div_ceil(a, b), min(a, b)
+/// and max(a, b). String literals use single or double quotes.
+///
+/// This is the expression dialect of the `#pragma kernel_launcher`
+/// annotations (see pragma.hpp) and of restrictions in hand-written
+/// tuning specifications.
+///
+/// Throws kl::Error with position context on malformed input.
+Expr parse_expr(std::string_view text);
+
+}  // namespace kl::core

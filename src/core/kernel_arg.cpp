@@ -1,0 +1,103 @@
+#include "core/kernel_arg.hpp"
+
+#include "util/errors.hpp"
+
+namespace kl::core {
+
+size_t scalar_size(ScalarType type) noexcept {
+    switch (type) {
+        case ScalarType::I8:
+            return 1;
+        case ScalarType::I32:
+        case ScalarType::U32:
+        case ScalarType::F32:
+            return 4;
+        case ScalarType::I64:
+        case ScalarType::U64:
+        case ScalarType::F64:
+            return 8;
+    }
+    return 0;
+}
+
+const char* scalar_name(ScalarType type) noexcept {
+    switch (type) {
+        case ScalarType::I8:
+            return "i8";
+        case ScalarType::I32:
+            return "i32";
+        case ScalarType::I64:
+            return "i64";
+        case ScalarType::U32:
+            return "u32";
+        case ScalarType::U64:
+            return "u64";
+        case ScalarType::F32:
+            return "f32";
+        case ScalarType::F64:
+            return "f64";
+    }
+    return "?";
+}
+
+std::optional<ScalarType> scalar_from_name(const std::string& name) noexcept {
+    static constexpr std::pair<const char*, ScalarType> table[] = {
+        {"i8", ScalarType::I8},   {"i32", ScalarType::I32}, {"i64", ScalarType::I64},
+        {"u32", ScalarType::U32}, {"u64", ScalarType::U64}, {"f32", ScalarType::F32},
+        {"f64", ScalarType::F64},
+    };
+    for (const auto& [text, type] : table) {
+        if (name == text) {
+            return type;
+        }
+    }
+    return std::nullopt;
+}
+
+sim::DevicePtr KernelArg::device_ptr() const {
+    if (!is_buffer_) {
+        throw Error("kernel argument is not a buffer");
+    }
+    sim::DevicePtr ptr;
+    std::memcpy(&ptr, storage_, sizeof(ptr));
+    return ptr;
+}
+
+std::optional<Value> KernelArg::to_value() const {
+    if (is_buffer_) {
+        return std::nullopt;
+    }
+    switch (type_) {
+        case ScalarType::I8:
+            return Value(static_cast<int64_t>(scalar_value<int8_t>()));
+        case ScalarType::I32:
+            return Value(static_cast<int64_t>(scalar_value<int32_t>()));
+        case ScalarType::I64:
+            return Value(scalar_value<int64_t>());
+        case ScalarType::U32:
+            return Value(static_cast<int64_t>(scalar_value<uint32_t>()));
+        case ScalarType::U64:
+            return Value(scalar_value<uint64_t>());
+        case ScalarType::F32:
+            return Value(static_cast<double>(scalar_value<float>()));
+        case ScalarType::F64:
+            return Value(scalar_value<double>());
+    }
+    return std::nullopt;
+}
+
+json::Value KernelArg::describe() const {
+    json::Value out = json::Value::object();
+    out["type"] = scalar_name(type_);
+    if (is_buffer_) {
+        out["kind"] = "buffer";
+        out["count"] = static_cast<int64_t>(count_);
+    } else {
+        out["kind"] = "scalar";
+        std::optional<Value> v = to_value();
+        out["value"] = v.has_value() ? v->to_json() : json::Value();
+    }
+    return out;
+}
+
+}  // namespace kl::core

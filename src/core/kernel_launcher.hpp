@@ -1,0 +1,32 @@
+#pragma once
+
+/// Umbrella header of the Kernel Launcher library.
+///
+/// Typical use (cf. the paper's Listing 3):
+///
+///     #include "core/kernel_launcher.hpp"
+///     namespace kl = kl::core;
+///
+///     void run(kl::DeviceArray<float>& c, kl::DeviceArray<float>& a,
+///              kl::DeviceArray<float>& b, int n) {
+///         auto builder = kl::KernelBuilder("vector_add", "vector_add.cu");
+///         auto block_size = builder.tune("block_size", {32, 64, 128, 256, 1024});
+///         builder.problem_size(kl::arg3)
+///                .template_args(block_size)
+///                .block_size(block_size);
+///
+///         auto kernel = kl::WisdomKernel(builder);
+///         kernel.launch(c, a, b, n);
+///     }
+
+#include "core/capture.hpp"
+#include "core/config.hpp"
+#include "core/device_buffer.hpp"
+#include "core/expr.hpp"
+#include "core/kernel_arg.hpp"
+#include "core/kernel_def.hpp"
+#include "core/kernel_registry.hpp"
+#include "core/problem_size.hpp"
+#include "core/value.hpp"
+#include "core/wisdom.hpp"
+#include "core/wisdom_kernel.hpp"

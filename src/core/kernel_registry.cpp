@@ -1,0 +1,41 @@
+#include "core/kernel_registry.hpp"
+
+#include "util/rng.hpp"
+
+namespace kl::core {
+
+uint64_t WisdomKernelRegistry::def_digest(const KernelDef& def) {
+    // The JSON rendering is deterministic (sorted object keys), so its
+    // hash identifies the definition including space, expressions, source
+    // and flags.
+    return fnv1a(def.to_json().dump());
+}
+
+WisdomKernel& WisdomKernelRegistry::lookup(const KernelDef& def) {
+    const std::pair<std::string, uint64_t> key {def.key(), def_digest(def)};
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = kernels_.find(key);
+    if (it == kernels_.end()) {
+        it = kernels_
+                 .emplace(key, std::make_unique<WisdomKernel>(def, settings_))
+                 .first;
+    }
+    return *it->second;
+}
+
+size_t WisdomKernelRegistry::size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return kernels_.size();
+}
+
+void WisdomKernelRegistry::clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    kernels_.clear();
+}
+
+WisdomKernelRegistry& registry() {
+    static WisdomKernelRegistry instance;
+    return instance;
+}
+
+}  // namespace kl::core

@@ -1,0 +1,203 @@
+#include "core/pragma.hpp"
+
+#include <cctype>
+
+#include "core/expr_parser.hpp"
+#include "util/errors.hpp"
+#include "util/strings.hpp"
+
+namespace kl::core {
+
+namespace {
+
+constexpr std::string_view kMarker = "#pragma kernel_launcher";
+
+/// Splits "name(payload) rest" -> {name, payload, rest}; respects nested
+/// parentheses inside the payload.
+struct Clause {
+    std::string name;
+    std::string payload;
+    std::string rest;
+};
+
+Clause split_clause(std::string_view text, const std::string& line) {
+    Clause clause;
+    size_t pos = 0;
+    while (pos < text.size()
+           && (std::isalnum(static_cast<unsigned char>(text[pos])) || text[pos] == '_')) {
+        pos++;
+    }
+    clause.name = std::string(text.substr(0, pos));
+    if (clause.name.empty()) {
+        throw DefinitionError("malformed kernel_launcher pragma: '" + line + "'");
+    }
+    std::string_view after = trim(text.substr(pos));
+    if (after.empty()) {
+        return clause;
+    }
+    if (after.front() != '(') {
+        // No payload: the remainder is a nested clause (e.g. "tune NAME(...)").
+        clause.rest = std::string(after);
+        return clause;
+    }
+    int depth = 0;
+    size_t i = 0;
+    for (; i < after.size(); i++) {
+        if (after[i] == '(') {
+            depth++;
+        } else if (after[i] == ')') {
+            depth--;
+            if (depth == 0) {
+                break;
+            }
+        }
+    }
+    if (depth != 0) {
+        throw DefinitionError("unbalanced parentheses in pragma: '" + line + "'");
+    }
+    clause.payload = std::string(trim(after.substr(1, i - 1)));
+    clause.rest = std::string(trim(after.substr(i + 1)));
+    return clause;
+}
+
+/// Splits a payload at top-level commas.
+std::vector<std::string> split_args(std::string_view payload) {
+    std::vector<std::string> out;
+    int depth = 0;
+    std::string current;
+    for (char c : payload) {
+        if (c == '(') {
+            depth++;
+        } else if (c == ')') {
+            depth--;
+        }
+        if (c == ',' && depth == 0) {
+            out.emplace_back(trim(current));
+            current.clear();
+        } else {
+            current += c;
+        }
+    }
+    std::string_view last = trim(current);
+    if (!last.empty()) {
+        out.emplace_back(last);
+    }
+    return out;
+}
+
+Value constant_value(const std::string& text, const std::string& line) {
+    Expr expr = parse_expr(text);
+    if (!expr.is_constant()) {
+        throw DefinitionError(
+            "value '" + text + "' in pragma is not a constant: '" + line + "'");
+    }
+    // Evaluate with an empty context; constants never consult it.
+    return expr.eval(EvalContext {});
+}
+
+std::array<Expr, 3> parse_exprs3(const std::string& payload, const std::string& line) {
+    std::vector<std::string> args = split_args(payload);
+    if (args.empty() || args.size() > 3) {
+        throw DefinitionError("expected 1-3 expressions in pragma: '" + line + "'");
+    }
+    std::array<Expr, 3> out {Expr(1), Expr(1), Expr(1)};
+    for (size_t i = 0; i < args.size(); i++) {
+        out[i] = parse_expr(args[i]);
+    }
+    return out;
+}
+
+}  // namespace
+
+std::vector<std::string> extract_pragma_lines(const std::string& source) {
+    std::vector<std::string> out;
+    for (const std::string& raw : split(source, '\n')) {
+        std::string_view line = trim(raw);
+        if (starts_with(line, kMarker)) {
+            out.emplace_back(trim(line.substr(kMarker.size())));
+        }
+    }
+    return out;
+}
+
+KernelBuilder builder_from_annotated_source(std::string kernel_name, KernelSource source) {
+    const std::string text = source.read();
+    std::vector<std::string> pragmas = extract_pragma_lines(text);
+    if (pragmas.empty()) {
+        throw DefinitionError(
+            "source '" + source.file_name()
+            + "' contains no '#pragma kernel_launcher' annotations");
+    }
+
+    KernelBuilder builder(std::move(kernel_name), std::move(source));
+
+    for (const std::string& line : pragmas) {
+        Clause directive = split_clause(line, line);
+
+        if (directive.name == "tune") {
+            // tune NAME(v1, v2, ...) [default(v)]
+            if (directive.rest.empty()) {
+                throw DefinitionError("tune pragma needs a parameter: '" + line + "'");
+            }
+            Clause param = split_clause(directive.rest, line);
+            std::vector<Value> values;
+            for (const std::string& arg : split_args(param.payload)) {
+                values.push_back(constant_value(arg, line));
+            }
+            if (values.empty()) {
+                throw DefinitionError("tune pragma needs values: '" + line + "'");
+            }
+            Value default_value = values.front();
+            if (!param.rest.empty()) {
+                Clause def = split_clause(param.rest, line);
+                if (def.name != "default" || def.payload.empty()) {
+                    throw DefinitionError(
+                        "expected 'default(value)' clause in pragma: '" + line + "'");
+                }
+                default_value = constant_value(def.payload, line);
+            }
+            builder.tune(param.name, std::move(values), std::move(default_value));
+        } else if (directive.name == "restriction") {
+            builder.restriction(parse_expr(directive.payload));
+        } else if (directive.name == "problem_size") {
+            std::array<Expr, 3> e = parse_exprs3(directive.payload, line);
+            builder.problem_size(e[0], e[1], e[2]);
+        } else if (directive.name == "block_size") {
+            std::array<Expr, 3> e = parse_exprs3(directive.payload, line);
+            builder.block_size(e[0], e[1], e[2]);
+        } else if (directive.name == "grid_divisors") {
+            std::array<Expr, 3> e = parse_exprs3(directive.payload, line);
+            builder.grid_divisors(e[0], e[1], e[2]);
+        } else if (directive.name == "grid_size") {
+            std::array<Expr, 3> e = parse_exprs3(directive.payload, line);
+            builder.grid_size(e[0], e[1], e[2]);
+        } else if (directive.name == "shared_memory") {
+            builder.shared_memory(parse_expr(directive.payload));
+        } else if (directive.name == "template_arg") {
+            builder.template_arg(parse_expr(directive.payload));
+        } else if (directive.name == "define") {
+            std::vector<std::string> args = split_args(directive.payload);
+            if (args.size() != 2) {
+                throw DefinitionError(
+                    "define pragma expects (NAME, expression): '" + line + "'");
+            }
+            builder.define(args[0], parse_expr(args[1]));
+        } else if (directive.name == "tuning_key") {
+            builder.tuning_key(directive.payload);
+        } else if (directive.name == "output") {
+            for (const std::string& arg : split_args(directive.payload)) {
+                builder.output_arg(
+                    static_cast<size_t>(constant_value(arg, line).to_int()));
+            }
+        } else if (directive.name == "compiler_flag") {
+            builder.compiler_flag(directive.payload);
+        } else {
+            throw DefinitionError(
+                "unknown kernel_launcher pragma directive '" + directive.name + "' in: '"
+                + line + "'");
+        }
+    }
+    return builder;
+}
+
+}  // namespace kl::core

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/kernel_def.hpp"
+
+namespace kl::core {
+
+/// Builds a tunable kernel definition from `#pragma kernel_launcher`
+/// annotations embedded in the kernel source, so the tuning specification
+/// can live next to the kernel code instead of in host C++:
+///
+///     #pragma kernel_launcher tune block_size(32, 64, 128, 256) default(128)
+///     #pragma kernel_launcher tune use_smem(true, false)
+///     #pragma kernel_launcher restriction(block_size <= 1024)
+///     #pragma kernel_launcher problem_size(arg3)
+///     #pragma kernel_launcher block_size(block_size)
+///     #pragma kernel_launcher template_arg(block_size)
+///     #pragma kernel_launcher define(N_HINT, problem_size_x)
+///     #pragma kernel_launcher grid_divisors(block_size * 2)
+///     #pragma kernel_launcher grid_size(div_ceil(problem_size_x, block_size))
+///     #pragma kernel_launcher shared_memory(block_size * 8)
+///     #pragma kernel_launcher tuning_key(vector_add_float)
+///     #pragma kernel_launcher output(0)
+///     #pragma kernel_launcher compiler_flag(--use_fast_math)
+///     template <int block_size>
+///     __global__ void vector_add(float* c, ...) { ... }
+///
+/// Directive payloads use the expression dialect of expr_parser.hpp. Tune
+/// values must be constants; the first value is the default unless a
+/// `default(...)` clause follows the value list.
+///
+/// Throws kl::DefinitionError with the offending line on malformed
+/// annotations; sources without any annotation are rejected (an unannotated
+/// kernel should go through KernelBuilder instead).
+KernelBuilder builder_from_annotated_source(std::string kernel_name, KernelSource source);
+
+/// The annotation lines found in a source (for diagnostics/tests).
+std::vector<std::string> extract_pragma_lines(const std::string& source);
+
+}  // namespace kl::core

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+#include "util/json.hpp"
+
+namespace kl::core {
+
+/// The multi-dimensional workload descriptor of one kernel launch
+/// (paper §4.4): the primary feature on which tuned configurations are
+/// selected. Unused trailing axes are 1.
+struct ProblemSize {
+    std::array<uint64_t, 3> dims {1, 1, 1};
+
+    constexpr ProblemSize() = default;
+    constexpr ProblemSize(uint64_t x, uint64_t y = 1, uint64_t z = 1): dims {x, y, z} {}
+
+    constexpr uint64_t x() const noexcept {
+        return dims[0];
+    }
+    constexpr uint64_t y() const noexcept {
+        return dims[1];
+    }
+    constexpr uint64_t z() const noexcept {
+        return dims[2];
+    }
+    constexpr uint64_t operator[](size_t axis) const noexcept {
+        return dims[axis];
+    }
+
+    constexpr uint64_t volume() const noexcept {
+        return dims[0] * dims[1] * dims[2];
+    }
+
+    bool operator==(const ProblemSize& other) const noexcept {
+        return dims == other.dims;
+    }
+    bool operator!=(const ProblemSize& other) const noexcept {
+        return dims != other.dims;
+    }
+    bool operator<(const ProblemSize& other) const noexcept {
+        return dims < other.dims;
+    }
+
+    /// Euclidean distance between two problem sizes, the metric of the
+    /// wisdom selection heuristic (§4.5).
+    static double distance(const ProblemSize& a, const ProblemSize& b) noexcept {
+        double sum = 0;
+        for (size_t i = 0; i < 3; i++) {
+            double d = static_cast<double>(a.dims[i]) - static_cast<double>(b.dims[i]);
+            sum += d * d;
+        }
+        return std::sqrt(sum);
+    }
+
+    /// "256x256x256"-style rendering (used in capture file names).
+    std::string to_string() const {
+        return std::to_string(dims[0]) + "x" + std::to_string(dims[1]) + "x"
+            + std::to_string(dims[2]);
+    }
+
+    json::Value to_json() const {
+        json::Value out = json::Value::array();
+        for (uint64_t d : dims) {
+            out.push_back(static_cast<int64_t>(d));
+        }
+        return out;
+    }
+
+    static ProblemSize from_json(const json::Value& v) {
+        ProblemSize size;
+        const json::Array& arr = v.as_array();
+        for (size_t i = 0; i < arr.size() && i < 3; i++) {
+            size.dims[i] = static_cast<uint64_t>(arr[i].as_int());
+        }
+        return size;
+    }
+};
+
+}  // namespace kl::core

@@ -1,0 +1,235 @@
+#include "core/value.hpp"
+
+#include <cmath>
+
+#include "util/errors.hpp"
+
+namespace kl::core {
+
+Value::Value(unsigned long long v): data_(static_cast<int64_t>(v)) {
+    if (v > static_cast<unsigned long long>(INT64_MAX)) {
+        throw Error("unsigned value does not fit in a tunable Value");
+    }
+}
+
+bool Value::as_bool() const {
+    if (auto* v = std::get_if<bool>(&data_)) {
+        return *v;
+    }
+    throw Error("tunable value is not a bool: " + to_string());
+}
+
+int64_t Value::as_int() const {
+    if (auto* v = std::get_if<int64_t>(&data_)) {
+        return *v;
+    }
+    throw Error("tunable value is not an integer: " + to_string());
+}
+
+double Value::as_double() const {
+    if (auto* v = std::get_if<double>(&data_)) {
+        return *v;
+    }
+    throw Error("tunable value is not a double: " + to_string());
+}
+
+const std::string& Value::as_string() const {
+    if (auto* v = std::get_if<std::string>(&data_)) {
+        return *v;
+    }
+    throw Error("tunable value is not a string: " + to_string());
+}
+
+bool Value::truthy() const noexcept {
+    switch (type()) {
+        case ValueType::Bool:
+            return *std::get_if<bool>(&data_);
+        case ValueType::Int:
+            return *std::get_if<int64_t>(&data_) != 0;
+        case ValueType::Double:
+            return *std::get_if<double>(&data_) != 0.0;
+        case ValueType::String:
+            return !std::get_if<std::string>(&data_)->empty();
+    }
+    return false;
+}
+
+int64_t Value::to_int() const {
+    switch (type()) {
+        case ValueType::Bool:
+            return as_bool() ? 1 : 0;
+        case ValueType::Int:
+            return as_int();
+        case ValueType::Double: {
+            double d = as_double();
+            if (d != std::floor(d)) {
+                throw Error("cannot convert non-integral double to integer: " + to_string());
+            }
+            return static_cast<int64_t>(d);
+        }
+        case ValueType::String:
+            throw Error("cannot convert string to integer: " + to_string());
+    }
+    return 0;
+}
+
+double Value::to_double() const {
+    switch (type()) {
+        case ValueType::Bool:
+            return as_bool() ? 1.0 : 0.0;
+        case ValueType::Int:
+            return static_cast<double>(as_int());
+        case ValueType::Double:
+            return as_double();
+        case ValueType::String:
+            throw Error("cannot convert string to double: " + to_string());
+    }
+    return 0;
+}
+
+std::string Value::to_define() const {
+    switch (type()) {
+        case ValueType::Bool:
+            return as_bool() ? "1" : "0";
+        case ValueType::String:
+            return as_string();
+        default:
+            return to_string();
+    }
+}
+
+std::string Value::to_string() const {
+    switch (type()) {
+        case ValueType::Bool:
+            return as_bool() ? "true" : "false";
+        case ValueType::Int:
+            return std::to_string(as_int());
+        case ValueType::Double: {
+            char buf[32];
+            std::snprintf(buf, sizeof buf, "%g", as_double());
+            return buf;
+        }
+        case ValueType::String:
+            return as_string();
+    }
+    return {};
+}
+
+json::Value Value::to_json() const {
+    switch (type()) {
+        case ValueType::Bool:
+            return json::Value(as_bool());
+        case ValueType::Int:
+            return json::Value(as_int());
+        case ValueType::Double:
+            return json::Value(as_double());
+        case ValueType::String:
+            return json::Value(as_string());
+    }
+    return json::Value();
+}
+
+Value Value::from_json(const json::Value& v) {
+    switch (v.type()) {
+        case json::Type::Bool:
+            return Value(v.as_bool());
+        case json::Type::Int:
+            return Value(v.as_int());
+        case json::Type::Double:
+            return Value(v.as_double());
+        case json::Type::String:
+            return Value(v.as_string());
+        default:
+            throw Error("JSON value cannot be a tunable value: " + v.dump());
+    }
+}
+
+bool Value::operator==(const Value& other) const {
+    if (is_string() != other.is_string()) {
+        return false;
+    }
+    if (is_string()) {
+        return as_string() == other.as_string();
+    }
+    // Numeric cross-type comparisons are exact when both are integral.
+    if ((is_int() || is_bool()) && (other.is_int() || other.is_bool())) {
+        return to_int() == other.to_int();
+    }
+    return to_double() == other.to_double();
+}
+
+bool Value::operator<(const Value& other) const {
+    if (is_string() != other.is_string()) {
+        return !is_string();
+    }
+    if (is_string()) {
+        return as_string() < other.as_string();
+    }
+    return to_double() < other.to_double();
+}
+
+namespace {
+
+bool both_integral(const Value& a, const Value& b) {
+    return !a.is_double() && !b.is_double() && !a.is_string() && !b.is_string();
+}
+
+}  // namespace
+
+Value operator+(const Value& a, const Value& b) {
+    if (a.is_string() && b.is_string()) {
+        return Value(a.as_string() + b.as_string());
+    }
+    if (both_integral(a, b)) {
+        return Value(a.to_int() + b.to_int());
+    }
+    return Value(a.to_double() + b.to_double());
+}
+
+Value operator-(const Value& a, const Value& b) {
+    if (both_integral(a, b)) {
+        return Value(a.to_int() - b.to_int());
+    }
+    return Value(a.to_double() - b.to_double());
+}
+
+Value operator*(const Value& a, const Value& b) {
+    if (both_integral(a, b)) {
+        return Value(a.to_int() * b.to_int());
+    }
+    return Value(a.to_double() * b.to_double());
+}
+
+Value operator/(const Value& a, const Value& b) {
+    if (both_integral(a, b)) {
+        int64_t d = b.to_int();
+        if (d == 0) {
+            throw Error("division by zero in tunable expression");
+        }
+        return Value(a.to_int() / d);
+    }
+    double d = b.to_double();
+    if (d == 0.0) {
+        throw Error("division by zero in tunable expression");
+    }
+    return Value(a.to_double() / d);
+}
+
+Value operator%(const Value& a, const Value& b) {
+    int64_t d = b.to_int();
+    if (d == 0) {
+        throw Error("modulo by zero in tunable expression");
+    }
+    return Value(a.to_int() % d);
+}
+
+Value div_ceil(const Value& a, const Value& b) {
+    int64_t x = a.to_int();
+    int64_t y = b.to_int();
+    if (y <= 0) {
+        throw Error("div_ceil requires a positive divisor");
+    }
+    return Value((x + y - 1) / y);
+}
+
+}  // namespace kl::core

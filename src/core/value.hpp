@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "util/json.hpp"
+
+namespace kl::core {
+
+enum class ValueType { Bool, Int, Double, String };
+
+/// A dynamically-typed tunable-parameter value: the value domain of
+/// configuration spaces, configurations, and expression evaluation.
+/// Arithmetic follows C-like promotion (bool -> int -> double); division of
+/// two integers is integer division, as a kernel's preprocessor would see.
+class Value {
+  public:
+    Value() noexcept: data_(int64_t {0}) {}
+    Value(bool v) noexcept: data_(v) {}
+    Value(int v) noexcept: data_(static_cast<int64_t>(v)) {}
+    Value(unsigned v) noexcept: data_(static_cast<int64_t>(v)) {}
+    Value(long v) noexcept: data_(static_cast<int64_t>(v)) {}
+    Value(long long v) noexcept: data_(static_cast<int64_t>(v)) {}
+    Value(unsigned long v): Value(static_cast<unsigned long long>(v)) {}
+    Value(unsigned long long v);
+    Value(double v) noexcept: data_(v) {}
+    Value(const char* v): data_(std::string(v)) {}
+    Value(std::string v) noexcept: data_(std::move(v)) {}
+
+    ValueType type() const noexcept {
+        return static_cast<ValueType>(data_.index());
+    }
+
+    bool is_bool() const noexcept {
+        return type() == ValueType::Bool;
+    }
+    bool is_int() const noexcept {
+        return type() == ValueType::Int;
+    }
+    bool is_double() const noexcept {
+        return type() == ValueType::Double;
+    }
+    bool is_string() const noexcept {
+        return type() == ValueType::String;
+    }
+    bool is_number() const noexcept {
+        return is_int() || is_double() || is_bool();
+    }
+
+    /// Strict accessors: throw kl::Error on type mismatch.
+    bool as_bool() const;
+    int64_t as_int() const;
+    double as_double() const;
+    const std::string& as_string() const;
+
+    /// Truthiness: false/0/0.0/"" are false, everything else true.
+    bool truthy() const noexcept;
+
+    /// Numeric coercions (bool -> 0/1); throw for strings.
+    int64_t to_int() const;
+    double to_double() const;
+
+    /// Rendering as a preprocessor definition value ("1"/"0" for bools).
+    std::string to_define() const;
+
+    /// Human-readable rendering (bools as true/false).
+    std::string to_string() const;
+
+    json::Value to_json() const;
+    static Value from_json(const json::Value& v);
+
+    bool operator==(const Value& other) const;
+    bool operator!=(const Value& other) const {
+        return !(*this == other);
+    }
+    /// Total order used for deterministic sorting of value lists; numbers
+    /// order numerically, strings lexically, numbers before strings.
+    bool operator<(const Value& other) const;
+
+    friend Value operator+(const Value& a, const Value& b);
+    friend Value operator-(const Value& a, const Value& b);
+    friend Value operator*(const Value& a, const Value& b);
+    friend Value operator/(const Value& a, const Value& b);
+    friend Value operator%(const Value& a, const Value& b);
+
+  private:
+    std::variant<bool, int64_t, double, std::string> data_;
+};
+
+/// Rounded-up integer division on values; the canonical grid-size helper.
+Value div_ceil(const Value& a, const Value& b);
+
+}  // namespace kl::core

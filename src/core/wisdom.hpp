@@ -1,0 +1,139 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/problem_size.hpp"
+#include "util/json.hpp"
+
+namespace kl::core {
+
+/// One tuning result: the best-performing configuration found for one
+/// (GPU, problem size) pair, plus provenance of the tuning session
+/// (paper §4.4).
+struct WisdomRecord {
+    ProblemSize problem_size;
+    std::string device_name;
+    std::string device_architecture;
+    Config config;
+    double time_seconds = 0;      ///< measured kernel time of `config`
+    json::Value provenance;       ///< date, hostname, strategy, versions, ...
+
+    json::Value to_json() const;
+    static WisdomRecord from_json(const json::Value& v);
+};
+
+/// How a wisdom lookup matched (paper §4.5, in decreasing quality).
+enum class WisdomMatch {
+    Exact,          ///< same GPU, same problem size
+    DeviceNearest,  ///< same GPU, nearest problem size
+    ArchNearest,    ///< same architecture, nearest problem size
+    AnyNearest,     ///< any record, nearest problem size
+    None,           ///< empty/missing wisdom: use the default configuration
+};
+
+const char* wisdom_match_name(WisdomMatch match) noexcept;
+
+/// The wisdom file of one kernel: an append-friendly sequence of tuning
+/// records in a human-readable JSON format. Re-tuning the same scenario
+/// replaces its record only when the new result is at least as good.
+class WisdomFile {
+  public:
+    WisdomFile() = default;
+    explicit WisdomFile(std::string kernel_name): kernel_name_(std::move(kernel_name)) {}
+
+    const std::string& kernel_name() const noexcept {
+        return kernel_name_;
+    }
+
+    const std::vector<WisdomRecord>& records() const noexcept {
+        return records_;
+    }
+
+    bool empty() const noexcept {
+        return records_.empty();
+    }
+
+    /// Adds a tuning result. An existing record for the same device and
+    /// problem size is replaced when the new time is better (or `force`).
+    void add(WisdomRecord record, bool force = false);
+
+    /// Selection result: the chosen record (nullptr for None) and how it
+    /// matched.
+    struct Selection {
+        const WisdomRecord* record = nullptr;
+        WisdomMatch match = WisdomMatch::None;
+        double distance = 0;
+    };
+
+    /// Implements the selection heuristic of §4.5.
+    Selection select(
+        const std::string& device_name,
+        const std::string& device_architecture,
+        const ProblemSize& problem) const;
+
+    json::Value to_json() const;
+    static WisdomFile from_json(const json::Value& v);
+
+    /// Loads a wisdom file; a missing file yields an empty WisdomFile (the
+    /// heuristic then falls back to the default configuration).
+    static WisdomFile load(const std::string& path, const std::string& kernel_name);
+    void save(const std::string& path) const;
+
+  private:
+    std::string kernel_name_;
+    std::vector<WisdomRecord> records_;
+};
+
+/// Process-level settings: where wisdom files and captures live, and which
+/// kernels to capture. Read from the environment (KERNEL_LAUNCHER_WISDOM,
+/// KERNEL_LAUNCHER_CAPTURE, KERNEL_LAUNCHER_CAPTURE_DIR) or constructed
+/// explicitly by tests and experiments.
+class WisdomSettings {
+  public:
+    /// Defaults: wisdom dir ".", capture dir ".", no capture patterns.
+    WisdomSettings() = default;
+
+    static WisdomSettings from_env();
+
+    WisdomSettings& wisdom_dir(std::string dir) {
+        wisdom_dir_ = std::move(dir);
+        return *this;
+    }
+    WisdomSettings& capture_dir(std::string dir) {
+        capture_dir_ = std::move(dir);
+        return *this;
+    }
+    WisdomSettings& capture_pattern(std::string pattern) {
+        capture_patterns_.push_back(std::move(pattern));
+        return *this;
+    }
+
+    const std::string& wisdom_dir() const noexcept {
+        return wisdom_dir_;
+    }
+    const std::string& capture_dir() const noexcept {
+        return capture_dir_;
+    }
+    const std::vector<std::string>& capture_patterns() const noexcept {
+        return capture_patterns_;
+    }
+
+    /// Path of the wisdom file for a kernel: <wisdom_dir>/<kernel>.wisdom.json
+    std::string wisdom_path(const std::string& kernel_name) const;
+
+    /// True when the kernel name matches any capture pattern (glob).
+    bool should_capture(const std::string& kernel_name) const;
+
+  private:
+    std::string wisdom_dir_ = ".";
+    std::string capture_dir_ = ".";
+    std::vector<std::string> capture_patterns_;
+};
+
+/// Builds the provenance object recorded with each wisdom record.
+json::Value make_provenance(const std::string& strategy);
+
+}  // namespace kl::core

@@ -1,0 +1,129 @@
+#include "core/wisdom_kernel.hpp"
+
+#include "util/errors.hpp"
+#include "util/fs.hpp"
+
+namespace kl::core {
+
+namespace {
+
+/// Modeled time to read and match a wisdom file: a filesystem round-trip
+/// plus parse cost proportional to the file size.
+double wisdom_read_seconds(const std::string& path) {
+    double seconds = 18.0e-3;
+    if (file_exists(path)) {
+        seconds += static_cast<double>(file_size(path)) / 150e6;
+    }
+    return seconds;
+}
+
+}  // namespace
+
+WisdomKernel::WisdomKernel(KernelDef def, WisdomSettings settings):
+    def_(std::move(def)),
+    settings_(std::move(settings)) {}
+
+WisdomKernel::WisdomKernel(const KernelBuilder& builder, WisdomSettings settings):
+    WisdomKernel(builder.build(), std::move(settings)) {}
+
+Config WisdomKernel::select_config(const ProblemSize& problem) const {
+    WisdomFile wisdom = WisdomFile::load(settings_.wisdom_path(def_.key()), def_.key());
+    const sim::Context& context = sim::Context::current();
+    WisdomFile::Selection selection = wisdom.select(
+        context.device().name, context.device().architecture, problem);
+    if (selection.record != nullptr) {
+        return selection.record->config;
+    }
+    return def_.space.default_config();
+}
+
+WisdomKernel::Instance& WisdomKernel::instance_for(
+    const ProblemSize& problem,
+    sim::Context& context,
+    OverheadBreakdown& overhead) {
+    Key key {context.device().name, problem};
+    auto it = instances_.find(key);
+    if (it != instances_.end()) {
+        last_cold_ = false;
+        return it->second;
+    }
+    last_cold_ = true;
+
+    // 1. Read the wisdom file and select a configuration (§4.5).
+    const std::string wisdom_path = settings_.wisdom_path(def_.key());
+    overhead.wisdom_seconds = wisdom_read_seconds(wisdom_path);
+    context.clock().advance(overhead.wisdom_seconds);
+
+    WisdomFile wisdom = WisdomFile::load(wisdom_path, def_.key());
+    WisdomFile::Selection selection =
+        wisdom.select(context.device().name, context.device().architecture, problem);
+
+    Instance instance;
+    instance.match = selection.match;
+    instance.config = selection.record != nullptr ? selection.record->config
+                                                  : def_.space.default_config();
+
+    // 2. Runtime compilation through (simulated) NVRTC.
+    KernelCompiler::Output compiled =
+        KernelCompiler::compile(def_, instance.config, context.device(), &problem);
+    overhead.compile_seconds = compiled.compile_seconds;
+    context.clock().advance(compiled.compile_seconds);
+
+    // 3. Load the compiled image onto the device.
+    double before_load = context.clock().now();
+    instance.module = sim::Module::load(context, std::move(compiled.image));
+    overhead.module_load_seconds = context.clock().now() - before_load;
+
+    auto [inserted, ok] = instances_.emplace(std::move(key), std::move(instance));
+    (void) ok;
+    return inserted->second;
+}
+
+void WisdomKernel::launch_args(const std::vector<KernelArg>& args, sim::Stream* stream) {
+    sim::Context& context = sim::Context::current();
+    if (stream == nullptr) {
+        stream = &context.default_stream();
+    }
+
+    const ProblemSize problem = def_.eval_problem_size(args);
+
+    OverheadBreakdown overhead;
+    Instance& instance = instance_for(problem, context, overhead);
+    const bool cold = last_cold_;
+    last_match_ = instance.match;
+
+    // Capture hook (§4.2): export the launch once per problem size when the
+    // kernel name matches a KERNEL_LAUNCHER_CAPTURE pattern.
+    if (settings_.should_capture(def_.key()) || settings_.should_capture(def_.name)) {
+        Key key {context.device().name, problem};
+        if (!captured_[key]) {
+            write_capture(settings_.capture_dir(), def_, args, problem, context);
+            captured_[key] = true;
+        }
+    }
+
+    const KernelDef::Geometry geom = def_.eval_geometry(instance.config, args);
+
+    std::vector<void*> slots;
+    slots.reserve(args.size());
+    for (const KernelArg& arg : args) {
+        slots.push_back(const_cast<void*>(arg.slot()));
+    }
+
+    double before_launch = context.clock().now();
+    context.launch(
+        instance.module->get_function(def_.name),
+        geom.grid,
+        geom.block,
+        geom.shared_mem_bytes,
+        *stream,
+        slots.data(),
+        slots.size());
+    overhead.launch_seconds = context.clock().now() - before_launch;
+
+    if (cold) {
+        last_overhead_ = overhead;
+    }
+}
+
+}  // namespace kl::core

@@ -1,0 +1,122 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/capture.hpp"
+#include "core/kernel_def.hpp"
+#include "core/wisdom.hpp"
+#include "cudasim/context.hpp"
+#include "cudasim/module.hpp"
+
+namespace kl::core {
+
+/// Timing breakdown of a cold (first) launch for one problem size; the
+/// quantities of the paper's Figure 5.
+struct OverheadBreakdown {
+    double wisdom_seconds = 0;       ///< reading + matching the wisdom file
+    double compile_seconds = 0;      ///< nvrtcCompileProgram
+    double module_load_seconds = 0;  ///< cuModuleLoad
+    double launch_seconds = 0;       ///< cuLaunchKernel (host-side)
+
+    double total() const noexcept {
+        return wisdom_seconds + compile_seconds + module_load_seconds + launch_seconds;
+    }
+};
+
+/// A tunable kernel with runtime configuration selection and runtime
+/// compilation (paper §4.5): the user-facing handle of the library.
+///
+/// On the first launch for a given problem size, the kernel's wisdom file
+/// is consulted, the best matching configuration is selected, and the
+/// kernel is compiled by the (simulated) NVRTC and loaded onto the device.
+/// Subsequent launches for the same problem size reuse the compiled
+/// instance and add only ~3 us of launch overhead.
+///
+/// When the kernel matches a KERNEL_LAUNCHER_CAPTURE pattern, the first
+/// launch per problem size is captured to disk before execution.
+class WisdomKernel {
+  public:
+    WisdomKernel(KernelDef def, WisdomSettings settings = WisdomSettings::from_env());
+    WisdomKernel(
+        const KernelBuilder& builder,
+        WisdomSettings settings = WisdomSettings::from_env());
+
+    const KernelDef& def() const noexcept {
+        return def_;
+    }
+
+    /// Launches with C++ arguments (scalars and DeviceArray buffers), on
+    /// the current context's default stream.
+    template<typename... Ts>
+    void launch(const Ts&... args) {
+        launch_args(into_args(args...));
+    }
+
+    template<typename... Ts>
+    void operator()(const Ts&... args) {
+        launch(args...);
+    }
+
+    /// Launches with an explicit argument vector and optional stream.
+    void launch_args(const std::vector<KernelArg>& args, sim::Stream* stream = nullptr);
+
+    /// Selected configuration for a problem size (selecting, but not
+    /// compiling, when not cached yet). Exposed for experiments.
+    Config select_config(const ProblemSize& problem) const;
+
+    /// How the most recent launch resolved.
+    bool last_launch_was_cold() const noexcept {
+        return last_cold_;
+    }
+    const OverheadBreakdown& last_cold_overhead() const noexcept {
+        return last_overhead_;
+    }
+    WisdomMatch last_match() const noexcept {
+        return last_match_;
+    }
+
+    /// Drops all compiled instances (e.g. after re-tuning).
+    void clear_cache() {
+        instances_.clear();
+        captured_.clear();
+    }
+
+    size_t cached_instance_count() const noexcept {
+        return instances_.size();
+    }
+
+  private:
+    struct Instance {
+        Config config;
+        std::shared_ptr<sim::Module> module;
+        WisdomMatch match = WisdomMatch::None;
+    };
+
+    /// Cache key: the combination that §4.5 says triggers recompilation.
+    struct Key {
+        std::string device;
+        ProblemSize problem;
+        bool operator<(const Key& other) const {
+            return std::tie(device, problem) < std::tie(other.device, other.problem);
+        }
+    };
+
+    Instance& instance_for(
+        const ProblemSize& problem,
+        sim::Context& context,
+        OverheadBreakdown& overhead);
+
+    KernelDef def_;
+    WisdomSettings settings_;
+    std::map<Key, Instance> instances_;
+    std::map<Key, bool> captured_;
+    OverheadBreakdown last_overhead_;
+    WisdomMatch last_match_ = WisdomMatch::None;
+    bool last_cold_ = false;
+};
+
+}  // namespace kl::core

@@ -1,0 +1,183 @@
+#include "cudasim/context.hpp"
+
+#include <cstring>
+
+#include "util/errors.hpp"
+
+namespace kl::sim {
+
+namespace {
+
+// PCIe gen4 x16 effective host<->device throughput.
+constexpr double kPcieBandwidthGbs = 12.0;
+constexpr double kPcieLatencySeconds = 8e-6;
+
+Context* g_current_context = nullptr;
+
+}  // namespace
+
+Context::Context(const DeviceProperties& device, ExecutionMode mode):
+    device_(device),
+    mode_(mode) {
+    streams_.push_back(std::make_unique<Stream>(0));
+    previous_current_ = g_current_context;
+    g_current_context = this;
+}
+
+Context::~Context() {
+    if (g_current_context == this) {
+        g_current_context = previous_current_;
+    }
+}
+
+std::unique_ptr<Context> Context::create(const std::string& device_name, ExecutionMode mode) {
+    return std::make_unique<Context>(DeviceRegistry::global().by_name(device_name), mode);
+}
+
+Context& Context::current() {
+    if (g_current_context == nullptr) {
+        throw CudaError("no current simulated CUDA context");
+    }
+    return *g_current_context;
+}
+
+Context* Context::current_or_null() noexcept {
+    return g_current_context;
+}
+
+Stream& Context::create_stream() {
+    streams_.push_back(std::make_unique<Stream>(streams_.size()));
+    return *streams_.back();
+}
+
+void Context::synchronize() {
+    for (const auto& stream : streams_) {
+        clock_.advance_to(stream->busy_until());
+    }
+}
+
+DevicePtr Context::malloc(uint64_t size) {
+    if (memory_.bytes_in_use() + size > device_.global_memory_bytes) {
+        throw CudaError(
+            "out of device memory: requested " + std::to_string(size) + " bytes, "
+            + std::to_string(device_.global_memory_bytes - memory_.bytes_in_use())
+            + " available");
+    }
+    return memory_.allocate(size);
+}
+
+void Context::free(DevicePtr ptr) {
+    memory_.free(ptr);
+}
+
+double Context::transfer_seconds(uint64_t size) const {
+    return kPcieLatencySeconds + static_cast<double>(size) / (kPcieBandwidthGbs * 1e9);
+}
+
+void Context::memcpy_htod(DevicePtr dst, const void* src, uint64_t size) {
+    memory_.check_range(dst, size);
+    if (mode_ == ExecutionMode::Functional) {
+        std::memcpy(memory_.resolve(dst, size), src, size);
+    }
+    clock_.advance(transfer_seconds(size));
+}
+
+void Context::memcpy_dtoh(void* dst, DevicePtr src, uint64_t size) {
+    memory_.check_range(src, size);
+    if (mode_ == ExecutionMode::Functional) {
+        void* host = memory_.resolve_if_materialized(src, size);
+        if (host != nullptr) {
+            std::memcpy(dst, host, size);
+        } else {
+            // Never-touched device memory reads back as zeros.
+            std::memset(dst, 0, size);
+        }
+    }
+    clock_.advance(transfer_seconds(size));
+}
+
+void Context::memcpy_dtod(DevicePtr dst, DevicePtr src, uint64_t size) {
+    memory_.check_range(src, size);
+    memory_.check_range(dst, size);
+    if (mode_ == ExecutionMode::Functional) {
+        void* from = memory_.resolve_if_materialized(src, size);
+        if (from != nullptr) {
+            std::memmove(memory_.resolve(dst, size), from, size);
+        } else if (memory_.is_materialized(dst)) {
+            std::memset(memory_.resolve(dst, size), 0, size);
+        }
+    }
+    // On-device copies run at full memory bandwidth (read + write).
+    clock_.advance(2.0 * static_cast<double>(size) / (device_.memory_bandwidth_gbs * 1e9));
+}
+
+void Context::memset_d8(DevicePtr dst, uint8_t value, uint64_t size) {
+    memory_.check_range(dst, size);
+    if (mode_ == ExecutionMode::Functional) {
+        // Zero-fill of untouched memory is already the materialization
+        // default; only a nonzero fill forces materialization.
+        if (value != 0 || memory_.is_materialized(dst)) {
+            std::memset(memory_.resolve(dst, size), value, size);
+        }
+    }
+    clock_.advance(static_cast<double>(size) / (device_.memory_bandwidth_gbs * 1e9));
+}
+
+const LaunchRecord& Context::launch(
+    const KernelImage& image,
+    Dim3 grid,
+    Dim3 block,
+    uint64_t shared_mem,
+    Stream& stream,
+    void* const* args,
+    size_t num_args) {
+    // Validation mirroring the CUDA driver's launch checks.
+    if (grid.volume() == 0 || block.volume() == 0) {
+        throw CudaError("invalid launch: empty grid or block");
+    }
+    if (grid.x > 2147483647u || grid.y > 65535 || grid.z > 65535) {
+        throw CudaError("invalid launch: grid dimensions exceed device limits");
+    }
+    if (block.x > 1024 || block.y > 1024 || block.z > 64
+        || block.volume() > static_cast<uint64_t>(device_.max_threads_per_block)) {
+        throw CudaError(
+            "invalid launch: block " + block.to_string() + " exceeds device limits");
+    }
+    if (shared_mem + image.static_shared_memory > device_.shared_mem_per_block) {
+        throw CudaError("invalid launch: shared memory exceeds per-block limit");
+    }
+
+    // The model also rejects zero-occupancy launches (register pressure).
+    TimingEstimate timing = perf_model_.estimate(device_, image, grid, block, shared_mem);
+
+    if (mode_ == ExecutionMode::Functional) {
+        if (!image.impl) {
+            throw CudaError("kernel '" + image.lowered_name + "' has no implementation");
+        }
+        LaunchParams params;
+        params.context = this;
+        params.grid = grid;
+        params.block = block;
+        params.shared_mem_bytes = shared_mem;
+        params.constants = &image.constants;
+        params.args = args;
+        params.num_args = num_args;
+        image.impl(params);
+    }
+
+    // Host pays the fixed launch cost, the stream the kernel duration.
+    clock_.advance(device_.launch_overhead_us * 1e-6);
+    double start = stream.enqueue(timing.seconds, clock_.now());
+
+    last_launch_.kernel_name = image.lowered_name;
+    last_launch_.grid = grid;
+    last_launch_.block = block;
+    last_launch_.shared_mem = shared_mem;
+    last_launch_.timing = timing;
+    last_launch_.start_time = start;
+    last_launch_.end_time = start + timing.seconds;
+    launch_count_++;
+    return last_launch_;
+}
+
+}  // namespace kl::sim

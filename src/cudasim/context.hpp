@@ -1,0 +1,140 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cudasim/device_props.hpp"
+#include "cudasim/dim3.hpp"
+#include "cudasim/kernel_image.hpp"
+#include "cudasim/memory.hpp"
+#include "cudasim/perf_model.hpp"
+#include "cudasim/stream.hpp"
+
+namespace kl::sim {
+
+/// How kernel launches behave.
+enum class ExecutionMode {
+    /// Kernel implementations really run on the CPU, producing output data;
+    /// timing still comes from the model. Used for correctness validation
+    /// and for small-scale examples.
+    Functional,
+    /// Implementations are skipped; only the performance model runs. Used
+    /// by large tuning sweeps (a 512^3 stencil per evaluation would be
+    /// prohibitive on the host).
+    TimingOnly,
+};
+
+/// Statistics about the most recent launch; examined by tests and benches.
+struct LaunchRecord {
+    std::string kernel_name;
+    Dim3 grid;
+    Dim3 block;
+    uint64_t shared_mem = 0;
+    TimingEstimate timing;
+    double start_time = 0;
+    double end_time = 0;
+};
+
+/// A simulated CUDA context: one device, its memory, its streams, and the
+/// virtual clock. Mirrors the CUDA driver's current-context model with an
+/// explicit, exception-safe C++ API.
+class Context {
+  public:
+    explicit Context(
+        const DeviceProperties& device,
+        ExecutionMode mode = ExecutionMode::Functional);
+    ~Context();
+
+    Context(const Context&) = delete;
+    Context& operator=(const Context&) = delete;
+
+    /// Creates a context by device name from the global registry.
+    static std::unique_ptr<Context> create(
+        const std::string& device_name,
+        ExecutionMode mode = ExecutionMode::Functional);
+
+    /// The context most recently constructed and not yet destroyed
+    /// (process-global, like the CUDA current-context stack).
+    static Context& current();
+    static Context* current_or_null() noexcept;
+
+    const DeviceProperties& device() const noexcept {
+        return device_;
+    }
+
+    ExecutionMode mode() const noexcept {
+        return mode_;
+    }
+    void set_mode(ExecutionMode mode) noexcept {
+        mode_ = mode;
+    }
+
+    MemoryPool& memory() noexcept {
+        return memory_;
+    }
+
+    SimClock& clock() noexcept {
+        return clock_;
+    }
+
+    PerfModel& perf_model() noexcept {
+        return perf_model_;
+    }
+
+    Stream& default_stream() noexcept {
+        return *streams_.front();
+    }
+
+    Stream& create_stream();
+
+    /// Blocks (advances the virtual clock) until all streams are idle.
+    void synchronize();
+
+    // --- memory operations (with modeled PCIe transfer time) -------------
+
+    DevicePtr malloc(uint64_t size);
+    void free(DevicePtr ptr);
+    void memcpy_htod(DevicePtr dst, const void* src, uint64_t size);
+    void memcpy_dtoh(void* dst, DevicePtr src, uint64_t size);
+    void memcpy_dtod(DevicePtr dst, DevicePtr src, uint64_t size);
+    void memset_d8(DevicePtr dst, uint8_t value, uint64_t size);
+
+    /// Modeled host<->device transfer time for `size` bytes.
+    double transfer_seconds(uint64_t size) const;
+
+    // --- launching --------------------------------------------------------
+
+    /// Validates and executes a kernel launch; advances the stream timeline
+    /// by the modeled duration and (in Functional mode) runs the kernel
+    /// implementation. Returns the record also stored as `last_launch()`.
+    const LaunchRecord& launch(
+        const KernelImage& image,
+        Dim3 grid,
+        Dim3 block,
+        uint64_t shared_mem,
+        Stream& stream,
+        void* const* args,
+        size_t num_args);
+
+    const LaunchRecord& last_launch() const noexcept {
+        return last_launch_;
+    }
+
+    uint64_t launch_count() const noexcept {
+        return launch_count_;
+    }
+
+  private:
+    DeviceProperties device_;
+    ExecutionMode mode_;
+    MemoryPool memory_;
+    SimClock clock_;
+    PerfModel perf_model_;
+    std::vector<std::unique_ptr<Stream>> streams_;
+    LaunchRecord last_launch_;
+    uint64_t launch_count_ = 0;
+    Context* previous_current_ = nullptr;
+};
+
+}  // namespace kl::sim

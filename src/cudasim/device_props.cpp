@@ -1,0 +1,146 @@
+#include "cudasim/device_props.hpp"
+
+#include "util/errors.hpp"
+
+namespace kl::sim {
+
+std::string DeviceProperties::compute_capability() const {
+    return std::to_string(compute_capability_major) + "."
+        + std::to_string(compute_capability_minor);
+}
+
+DeviceProperties make_a100() {
+    DeviceProperties p;
+    p.name = "NVIDIA A100-PCIE-40GB";
+    p.architecture = "Ampere";
+    p.chip = "GA100";
+    p.compute_capability_major = 8;
+    p.compute_capability_minor = 0;
+    p.sm_count = 108;
+    p.max_threads_per_sm = 2048;
+    p.max_blocks_per_sm = 32;
+    p.registers_per_sm = 65536;
+    p.shared_mem_per_block = 48 * 1024;
+    p.shared_mem_per_sm = 164 * 1024;
+    p.global_memory_bytes = 40ull * 1024 * 1024 * 1024;
+    p.l1_cache_bytes = 192 * 1024;
+    p.l2_cache_bytes = 40 * 1024 * 1024;
+    p.dram_transaction_bytes = 64;  // HBM2e
+    p.memory_channels = 40;
+    p.memory_bandwidth_gbs = 1555.0;  // Table 1
+    p.peak_sp_gflops = 19500.0;       // Table 1
+    p.peak_dp_gflops = 9700.0;        // Table 1 (1:2 DP ratio)
+    p.sm_clock_ghz = 1.41;
+    return p;
+}
+
+DeviceProperties make_a4000() {
+    DeviceProperties p;
+    p.name = "NVIDIA RTX A4000";
+    p.architecture = "Ampere";
+    p.chip = "GA104";
+    p.compute_capability_major = 8;
+    p.compute_capability_minor = 6;
+    p.sm_count = 48;
+    p.max_threads_per_sm = 1536;
+    p.max_blocks_per_sm = 16;
+    p.registers_per_sm = 65536;
+    p.shared_mem_per_block = 48 * 1024;
+    p.shared_mem_per_sm = 100 * 1024;
+    p.global_memory_bytes = 16ull * 1024 * 1024 * 1024;
+    p.l2_cache_bytes = 4 * 1024 * 1024;
+    p.memory_bandwidth_gbs = 448.0;  // Table 1
+    p.peak_sp_gflops = 19170.0;      // Table 1
+    p.peak_dp_gflops = 599.0;        // Table 1 (1:32 DP ratio)
+    p.sm_clock_ghz = 1.56;
+    return p;
+}
+
+DeviceProperties make_rtx3090() {
+    DeviceProperties p;
+    p.name = "NVIDIA GeForce RTX 3090";
+    p.architecture = "Ampere";
+    p.chip = "GA102";
+    p.compute_capability_major = 8;
+    p.compute_capability_minor = 6;
+    p.sm_count = 82;
+    p.max_threads_per_sm = 1536;
+    p.max_blocks_per_sm = 16;
+    p.registers_per_sm = 65536;
+    p.shared_mem_per_block = 48 * 1024;
+    p.shared_mem_per_sm = 100 * 1024;
+    p.global_memory_bytes = 24ull * 1024 * 1024 * 1024;
+    p.l2_cache_bytes = 6 * 1024 * 1024;
+    p.memory_channels = 12;
+    p.memory_bandwidth_gbs = 936.0;
+    p.peak_sp_gflops = 35580.0;
+    p.peak_dp_gflops = 556.0;
+    p.sm_clock_ghz = 1.70;
+    return p;
+}
+
+DeviceProperties make_v100() {
+    DeviceProperties p;
+    p.name = "Tesla V100-SXM2-32GB";
+    p.architecture = "Volta";
+    p.chip = "GV100";
+    p.compute_capability_major = 7;
+    p.compute_capability_minor = 0;
+    p.sm_count = 80;
+    p.max_threads_per_sm = 2048;
+    p.max_blocks_per_sm = 32;
+    p.registers_per_sm = 65536;
+    p.shared_mem_per_block = 48 * 1024;
+    p.shared_mem_per_sm = 96 * 1024;
+    p.global_memory_bytes = 32ull * 1024 * 1024 * 1024;
+    p.l2_cache_bytes = 6 * 1024 * 1024;
+    p.dram_transaction_bytes = 64;  // HBM2
+    p.memory_channels = 32;
+    p.memory_bandwidth_gbs = 900.0;
+    p.peak_sp_gflops = 15700.0;
+    p.peak_dp_gflops = 7800.0;
+    p.sm_clock_ghz = 1.53;
+    return p;
+}
+
+DeviceRegistry::DeviceRegistry() {
+    add(make_a100());
+    add(make_a4000());
+    add(make_rtx3090());
+    add(make_v100());
+}
+
+DeviceRegistry& DeviceRegistry::global() {
+    static DeviceRegistry instance;
+    return instance;
+}
+
+void DeviceRegistry::add(DeviceProperties props) {
+    for (DeviceProperties& existing : devices_) {
+        if (existing.name == props.name) {
+            existing = std::move(props);
+            return;
+        }
+    }
+    devices_.push_back(std::move(props));
+}
+
+const DeviceProperties& DeviceRegistry::by_name(const std::string& name) const {
+    for (const DeviceProperties& props : devices_) {
+        if (props.name == name) {
+            return props;
+        }
+    }
+    throw CudaError("unknown simulated device: '" + name + "'");
+}
+
+bool DeviceRegistry::contains(const std::string& name) const {
+    for (const DeviceProperties& props : devices_) {
+        if (props.name == name) {
+            return true;
+        }
+    }
+    return false;
+}
+
+}  // namespace kl::sim

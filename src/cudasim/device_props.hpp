@@ -1,0 +1,85 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace kl::sim {
+
+/// Static hardware description of a simulated GPU. The built-in entries
+/// mirror the paper's Table 1 plus public datasheet values for the
+/// micro-architectural limits that the performance model needs.
+struct DeviceProperties {
+    std::string name;          ///< e.g. "NVIDIA A100-PCIE-40GB"
+    std::string architecture;  ///< e.g. "Ampere"
+    std::string chip;          ///< e.g. "GA100"
+    int compute_capability_major = 8;
+    int compute_capability_minor = 0;
+
+    int sm_count = 0;
+    int max_threads_per_block = 1024;
+    int max_threads_per_sm = 2048;
+    int max_blocks_per_sm = 32;
+    int registers_per_sm = 65536;
+    int max_registers_per_thread = 255;
+    uint64_t shared_mem_per_block = 48 * 1024;
+    uint64_t shared_mem_per_sm = 100 * 1024;
+    uint64_t global_memory_bytes = 0;
+    uint64_t l1_cache_bytes = 128 * 1024;  ///< unified L1/texture per SM
+    uint64_t l2_cache_bytes = 0;
+    /// Minimum efficient DRAM transaction (HBM2e: 64B sectors; GDDR6: 32B).
+    /// Narrow or strided warp accesses waste a larger share of each
+    /// transaction on devices with coarser granularity.
+    int dram_transaction_bytes = 32;
+    /// Independent DRAM channels/partitions; access-pattern resonance with
+    /// the channel interleave ("partition camping") is device-specific.
+    int memory_channels = 8;
+
+    double memory_bandwidth_gbs = 0;  ///< GB/s (10^9)
+    double peak_sp_gflops = 0;        ///< GFLOP/s single precision
+    double peak_dp_gflops = 0;        ///< GFLOP/s double precision
+    double sm_clock_ghz = 1.4;
+
+    /// Fixed host-side cost of scheduling one kernel (Fig. 5 reports ~3 us).
+    double launch_overhead_us = 3.0;
+
+    /// Compute capability as "8.0"-style string, used in compile options.
+    std::string compute_capability() const;
+
+    /// Max resident warps per SM.
+    int max_warps_per_sm() const {
+        return max_threads_per_sm / 32;
+    }
+};
+
+/// Catalog of known simulated devices.
+class DeviceRegistry {
+  public:
+    /// The process-wide registry, pre-populated with the built-in devices.
+    static DeviceRegistry& global();
+
+    /// Registers (or replaces) a device description.
+    void add(DeviceProperties props);
+
+    /// Looks up a device by exact name. Throws CudaError when unknown.
+    const DeviceProperties& by_name(const std::string& name) const;
+
+    bool contains(const std::string& name) const;
+
+    /// All registered devices, in registration order.
+    const std::vector<DeviceProperties>& all() const {
+        return devices_;
+    }
+
+  private:
+    DeviceRegistry();
+    std::vector<DeviceProperties> devices_;
+};
+
+/// Built-in device descriptions (the two evaluation GPUs from the paper's
+/// Table 1 plus two extras exercised by the selection-heuristic tests).
+DeviceProperties make_a100();
+DeviceProperties make_a4000();
+DeviceProperties make_rtx3090();
+DeviceProperties make_v100();
+
+}  // namespace kl::sim

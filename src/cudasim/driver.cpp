@@ -1,0 +1,551 @@
+#include "cudasim/driver.hpp"
+
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cudasim/context.hpp"
+#include "cudasim/module.hpp"
+#include "util/errors.hpp"
+
+namespace kl::sim::driver {
+
+namespace {
+
+struct DriverState {
+    bool initialized = false;
+    std::vector<const DeviceProperties*> devices;
+
+    struct CtxEntry {
+        std::unique_ptr<Context> context;
+        CUdevice device = 0;
+    };
+    std::map<CUcontext, CtxEntry> contexts;
+    CUcontext current = 0;
+    uint64_t next_handle = 1;
+
+    struct ModuleEntry {
+        std::shared_ptr<Module> module;
+    };
+    std::map<CUmodule, ModuleEntry> modules;
+
+    struct FunctionEntry {
+        const KernelImage* image = nullptr;
+    };
+    std::map<CUfunction, FunctionEntry> functions;
+
+    std::map<CUstream, Stream*> streams;
+    std::map<CUevent, Event> events;
+
+    std::string last_error;
+};
+
+DriverState& state() {
+    static DriverState instance;
+    return instance;
+}
+
+CUresult fail(CUresult code, std::string message) {
+    state().last_error = std::move(message);
+    return code;
+}
+
+Context* current_context() {
+    DriverState& s = state();
+    auto it = s.contexts.find(s.current);
+    return it == s.contexts.end() ? nullptr : it->second.context.get();
+}
+
+/// Wraps a C++-API call, translating exceptions into CUresults.
+template<typename F>
+CUresult guarded(CUresult failure_code, F&& body) {
+    if (!state().initialized) {
+        return fail(CUDA_ERROR_NOT_INITIALIZED, "cuInit has not been called");
+    }
+    try {
+        return body();
+    } catch (const CudaError& e) {
+        return fail(failure_code, e.what());
+    } catch (const Error& e) {
+        return fail(CUDA_ERROR_INVALID_VALUE, e.what());
+    }
+}
+
+}  // namespace
+
+CUresult cuInit(unsigned /*flags*/) {
+    DriverState& s = state();
+    if (!s.initialized) {
+        s.initialized = true;
+        for (const DeviceProperties& props : DeviceRegistry::global().all()) {
+            s.devices.push_back(&props);
+        }
+    }
+    return CUresult {CUDA_SUCCESS};
+}
+
+CUresult cuDeviceGetCount(int* count) {
+    if (count == nullptr) {
+        return fail(CUDA_ERROR_INVALID_VALUE, "count is null");
+    }
+    if (!state().initialized) {
+        return fail(CUDA_ERROR_NOT_INITIALIZED, "cuInit has not been called");
+    }
+    *count = static_cast<int>(state().devices.size());
+    return CUresult {CUDA_SUCCESS};
+}
+
+namespace {
+CUresult check_device(CUdevice device) {
+    if (!state().initialized) {
+        return fail(CUDA_ERROR_NOT_INITIALIZED, "cuInit has not been called");
+    }
+    if (device < 0 || static_cast<size_t>(device) >= state().devices.size()) {
+        return fail(CUDA_ERROR_INVALID_DEVICE, "device ordinal out of range");
+    }
+    return CUresult {CUDA_SUCCESS};
+}
+}  // namespace
+
+CUresult cuDeviceGet(CUdevice* device, int ordinal) {
+    if (device == nullptr) {
+        return fail(CUDA_ERROR_INVALID_VALUE, "device is null");
+    }
+    if (CUresult r = check_device(ordinal); r != CUDA_SUCCESS) {
+        return r;
+    }
+    *device = ordinal;
+    return CUresult {CUDA_SUCCESS};
+}
+
+CUresult cuDeviceGetName(char* name, int length, CUdevice device) {
+    if (name == nullptr || length <= 0) {
+        return fail(CUDA_ERROR_INVALID_VALUE, "bad name buffer");
+    }
+    if (CUresult r = check_device(device); r != CUDA_SUCCESS) {
+        return r;
+    }
+    const std::string& full = state().devices[static_cast<size_t>(device)]->name;
+    std::strncpy(name, full.c_str(), static_cast<size_t>(length - 1));
+    name[length - 1] = '\0';
+    return CUresult {CUDA_SUCCESS};
+}
+
+CUresult cuDeviceGetAttribute(int* value, CUdevice_attribute attribute, CUdevice device) {
+    if (value == nullptr) {
+        return fail(CUDA_ERROR_INVALID_VALUE, "value is null");
+    }
+    if (CUresult r = check_device(device); r != CUDA_SUCCESS) {
+        return r;
+    }
+    const DeviceProperties& p = *state().devices[static_cast<size_t>(device)];
+    switch (attribute) {
+        case CU_DEVICE_ATTRIBUTE_MULTIPROCESSOR_COUNT:
+            *value = p.sm_count;
+            return CUresult {CUDA_SUCCESS};
+        case CU_DEVICE_ATTRIBUTE_MAX_THREADS_PER_BLOCK:
+            *value = p.max_threads_per_block;
+            return CUresult {CUDA_SUCCESS};
+        case CU_DEVICE_ATTRIBUTE_MAX_THREADS_PER_MULTIPROCESSOR:
+            *value = p.max_threads_per_sm;
+            return CUresult {CUDA_SUCCESS};
+        case CU_DEVICE_ATTRIBUTE_COMPUTE_CAPABILITY_MAJOR:
+            *value = p.compute_capability_major;
+            return CUresult {CUDA_SUCCESS};
+        case CU_DEVICE_ATTRIBUTE_COMPUTE_CAPABILITY_MINOR:
+            *value = p.compute_capability_minor;
+            return CUresult {CUDA_SUCCESS};
+        case CU_DEVICE_ATTRIBUTE_MAX_REGISTERS_PER_BLOCK:
+            *value = p.registers_per_sm;
+            return CUresult {CUDA_SUCCESS};
+        case CU_DEVICE_ATTRIBUTE_MAX_SHARED_MEMORY_PER_BLOCK:
+            *value = static_cast<int>(p.shared_mem_per_block);
+            return CUresult {CUDA_SUCCESS};
+        case CU_DEVICE_ATTRIBUTE_L2_CACHE_SIZE:
+            *value = static_cast<int>(p.l2_cache_bytes);
+            return CUresult {CUDA_SUCCESS};
+    }
+    return fail(CUDA_ERROR_INVALID_VALUE, "unknown device attribute");
+}
+
+CUresult cuDeviceTotalMem(size_t* bytes, CUdevice device) {
+    if (bytes == nullptr) {
+        return fail(CUDA_ERROR_INVALID_VALUE, "bytes is null");
+    }
+    if (CUresult r = check_device(device); r != CUDA_SUCCESS) {
+        return r;
+    }
+    *bytes = state().devices[static_cast<size_t>(device)]->global_memory_bytes;
+    return CUresult {CUDA_SUCCESS};
+}
+
+CUresult cuCtxCreate(CUcontext* context, unsigned /*flags*/, CUdevice device) {
+    if (context == nullptr) {
+        return fail(CUDA_ERROR_INVALID_VALUE, "context is null");
+    }
+    if (CUresult r = check_device(device); r != CUDA_SUCCESS) {
+        return r;
+    }
+    DriverState& s = state();
+    DriverState::CtxEntry entry;
+    entry.context = std::make_unique<Context>(*s.devices[static_cast<size_t>(device)]);
+    entry.device = device;
+    CUcontext handle = s.next_handle++;
+    s.contexts.emplace(handle, std::move(entry));
+    s.current = handle;
+    *context = handle;
+    return CUresult {CUDA_SUCCESS};
+}
+
+CUresult cuCtxDestroy(CUcontext context) {
+    DriverState& s = state();
+    auto it = s.contexts.find(context);
+    if (it == s.contexts.end()) {
+        return fail(CUDA_ERROR_INVALID_CONTEXT, "unknown context handle");
+    }
+    // Streams and events belonging to this context die with it.
+    s.contexts.erase(it);
+    if (s.current == context) {
+        s.current = s.contexts.empty() ? 0 : s.contexts.rbegin()->first;
+    }
+    return CUresult {CUDA_SUCCESS};
+}
+
+CUresult cuCtxGetCurrent(CUcontext* context) {
+    if (context == nullptr) {
+        return fail(CUDA_ERROR_INVALID_VALUE, "context is null");
+    }
+    *context = state().current;
+    return CUresult {CUDA_SUCCESS};
+}
+
+CUresult cuCtxSynchronize() {
+    return guarded(CUDA_ERROR_INVALID_CONTEXT, [&] {
+        Context* ctx = current_context();
+        if (ctx == nullptr) {
+            return fail(CUDA_ERROR_INVALID_CONTEXT, "no current context");
+        }
+        ctx->synchronize();
+        return CUresult {CUDA_SUCCESS};
+    });
+}
+
+CUresult cuMemAlloc(CUdeviceptr* ptr, size_t size) {
+    if (ptr == nullptr) {
+        return fail(CUDA_ERROR_INVALID_VALUE, "ptr is null");
+    }
+    return guarded(CUDA_ERROR_OUT_OF_MEMORY, [&] {
+        Context* ctx = current_context();
+        if (ctx == nullptr) {
+            return fail(CUDA_ERROR_INVALID_CONTEXT, "no current context");
+        }
+        *ptr = ctx->malloc(size);
+        return CUresult {CUDA_SUCCESS};
+    });
+}
+
+CUresult cuMemFree(CUdeviceptr ptr) {
+    return guarded(CUDA_ERROR_INVALID_VALUE, [&] {
+        Context* ctx = current_context();
+        if (ctx == nullptr) {
+            return fail(CUDA_ERROR_INVALID_CONTEXT, "no current context");
+        }
+        ctx->free(ptr);
+        return CUresult {CUDA_SUCCESS};
+    });
+}
+
+CUresult cuMemcpyHtoD(CUdeviceptr dst, const void* src, size_t size) {
+    return guarded(CUDA_ERROR_INVALID_VALUE, [&] {
+        current_context()->memcpy_htod(dst, src, size);
+        return CUresult {CUDA_SUCCESS};
+    });
+}
+
+CUresult cuMemcpyDtoH(void* dst, CUdeviceptr src, size_t size) {
+    return guarded(CUDA_ERROR_INVALID_VALUE, [&] {
+        current_context()->memcpy_dtoh(dst, src, size);
+        return CUresult {CUDA_SUCCESS};
+    });
+}
+
+CUresult cuMemcpyDtoD(CUdeviceptr dst, CUdeviceptr src, size_t size) {
+    return guarded(CUDA_ERROR_INVALID_VALUE, [&] {
+        current_context()->memcpy_dtod(dst, src, size);
+        return CUresult {CUDA_SUCCESS};
+    });
+}
+
+CUresult cuMemsetD8(CUdeviceptr dst, unsigned char value, size_t size) {
+    return guarded(CUDA_ERROR_INVALID_VALUE, [&] {
+        current_context()->memset_d8(dst, value, size);
+        return CUresult {CUDA_SUCCESS};
+    });
+}
+
+CUresult cuMemGetInfo(size_t* free_bytes, size_t* total_bytes) {
+    if (free_bytes == nullptr || total_bytes == nullptr) {
+        return fail(CUDA_ERROR_INVALID_VALUE, "output pointer is null");
+    }
+    return guarded(CUDA_ERROR_INVALID_CONTEXT, [&] {
+        Context* ctx = current_context();
+        if (ctx == nullptr) {
+            return fail(CUDA_ERROR_INVALID_CONTEXT, "no current context");
+        }
+        *total_bytes = ctx->device().global_memory_bytes;
+        *free_bytes = *total_bytes - ctx->memory().bytes_in_use();
+        return CUresult {CUDA_SUCCESS};
+    });
+}
+
+CUresult cuModuleLoadData(CUmodule* module, const void* image) {
+    if (module == nullptr || image == nullptr) {
+        return fail(CUDA_ERROR_INVALID_VALUE, "module or image is null");
+    }
+    return guarded(CUDA_ERROR_INVALID_VALUE, [&] {
+        Context* ctx = current_context();
+        if (ctx == nullptr) {
+            return fail(CUDA_ERROR_INVALID_CONTEXT, "no current context");
+        }
+        // Simulated binary format: the image pointer is a staged
+        // kl::sim::KernelImage (produced by the simulated NVRTC).
+        const auto* kernel_image = static_cast<const KernelImage*>(image);
+        DriverState& s = state();
+        DriverState::ModuleEntry entry;
+        entry.module = Module::load(*ctx, *kernel_image);
+        CUmodule handle = s.next_handle++;
+        s.modules.emplace(handle, std::move(entry));
+        *module = handle;
+        return CUresult {CUDA_SUCCESS};
+    });
+}
+
+CUresult cuModuleUnload(CUmodule module) {
+    DriverState& s = state();
+    if (s.modules.erase(module) == 0) {
+        return fail(CUDA_ERROR_INVALID_HANDLE, "unknown module handle");
+    }
+    return CUresult {CUDA_SUCCESS};
+}
+
+CUresult cuModuleGetFunction(CUfunction* function, CUmodule module, const char* name) {
+    if (function == nullptr || name == nullptr) {
+        return fail(CUDA_ERROR_INVALID_VALUE, "function or name is null");
+    }
+    DriverState& s = state();
+    auto it = s.modules.find(module);
+    if (it == s.modules.end()) {
+        return fail(CUDA_ERROR_INVALID_HANDLE, "unknown module handle");
+    }
+    return guarded(CUDA_ERROR_NOT_FOUND, [&] {
+        const KernelImage& image = it->second.module->get_function(name);
+        DriverState::FunctionEntry entry;
+        entry.image = &image;
+        CUfunction handle = s.next_handle++;
+        s.functions.emplace(handle, entry);
+        *function = handle;
+        return CUresult {CUDA_SUCCESS};
+    });
+}
+
+CUresult cuStreamCreate(CUstream* stream, unsigned /*flags*/) {
+    if (stream == nullptr) {
+        return fail(CUDA_ERROR_INVALID_VALUE, "stream is null");
+    }
+    return guarded(CUDA_ERROR_INVALID_CONTEXT, [&] {
+        Context* ctx = current_context();
+        if (ctx == nullptr) {
+            return fail(CUDA_ERROR_INVALID_CONTEXT, "no current context");
+        }
+        DriverState& s = state();
+        CUstream handle = s.next_handle++;
+        s.streams.emplace(handle, &ctx->create_stream());
+        *stream = handle;
+        return CUresult {CUDA_SUCCESS};
+    });
+}
+
+CUresult cuStreamDestroy(CUstream stream) {
+    // Stream 0 is the default stream and is never registered.
+    if (stream != 0 && state().streams.erase(stream) == 0) {
+        return fail(CUDA_ERROR_INVALID_HANDLE, "unknown stream handle");
+    }
+    return CUresult {CUDA_SUCCESS};
+}
+
+namespace {
+Stream* resolve_stream(CUstream stream) {
+    if (stream == 0) {
+        Context* ctx = current_context();
+        return ctx != nullptr ? &ctx->default_stream() : nullptr;
+    }
+    auto it = state().streams.find(stream);
+    return it == state().streams.end() ? nullptr : it->second;
+}
+}  // namespace
+
+CUresult cuStreamSynchronize(CUstream stream) {
+    return guarded(CUDA_ERROR_INVALID_HANDLE, [&] {
+        Stream* s = resolve_stream(stream);
+        if (s == nullptr) {
+            return fail(CUDA_ERROR_INVALID_HANDLE, "unknown stream handle");
+        }
+        current_context()->clock().advance_to(s->busy_until());
+        return CUresult {CUDA_SUCCESS};
+    });
+}
+
+CUresult cuEventCreate(CUevent* event, unsigned /*flags*/) {
+    if (event == nullptr) {
+        return fail(CUDA_ERROR_INVALID_VALUE, "event is null");
+    }
+    DriverState& s = state();
+    CUevent handle = s.next_handle++;
+    s.events.emplace(handle, Event {});
+    *event = handle;
+    return CUresult {CUDA_SUCCESS};
+}
+
+CUresult cuEventDestroy(CUevent event) {
+    if (state().events.erase(event) == 0) {
+        return fail(CUDA_ERROR_INVALID_HANDLE, "unknown event handle");
+    }
+    return CUresult {CUDA_SUCCESS};
+}
+
+CUresult cuEventRecord(CUevent event, CUstream stream) {
+    auto it = state().events.find(event);
+    if (it == state().events.end()) {
+        return fail(CUDA_ERROR_INVALID_HANDLE, "unknown event handle");
+    }
+    Stream* s = resolve_stream(stream);
+    if (s == nullptr) {
+        return fail(CUDA_ERROR_INVALID_HANDLE, "unknown stream handle");
+    }
+    Context* ctx = current_context();
+    it->second.record(*s, ctx != nullptr ? ctx->clock().now() : 0.0);
+    return CUresult {CUDA_SUCCESS};
+}
+
+CUresult cuEventElapsedTime(float* milliseconds, CUevent start, CUevent end) {
+    if (milliseconds == nullptr) {
+        return fail(CUDA_ERROR_INVALID_VALUE, "milliseconds is null");
+    }
+    DriverState& s = state();
+    auto a = s.events.find(start);
+    auto b = s.events.find(end);
+    if (a == s.events.end() || b == s.events.end()) {
+        return fail(CUDA_ERROR_INVALID_HANDLE, "unknown event handle");
+    }
+    if (!a->second.recorded() || !b->second.recorded()) {
+        return fail(CUDA_ERROR_INVALID_VALUE, "event has not been recorded");
+    }
+    *milliseconds = static_cast<float>(Event::elapsed(a->second, b->second) * 1e3);
+    return CUresult {CUDA_SUCCESS};
+}
+
+CUresult cuLaunchKernel(
+    CUfunction function,
+    unsigned grid_x,
+    unsigned grid_y,
+    unsigned grid_z,
+    unsigned block_x,
+    unsigned block_y,
+    unsigned block_z,
+    unsigned shared_mem_bytes,
+    CUstream stream,
+    void** kernel_params,
+    void** extra) {
+    if (extra != nullptr) {
+        return fail(CUDA_ERROR_INVALID_VALUE, "extra launch parameters unsupported");
+    }
+    auto it = state().functions.find(function);
+    if (it == state().functions.end()) {
+        return fail(CUDA_ERROR_INVALID_HANDLE, "unknown function handle");
+    }
+    return guarded(CUDA_ERROR_LAUNCH_OUT_OF_RESOURCES, [&] {
+        Context* ctx = current_context();
+        if (ctx == nullptr) {
+            return fail(CUDA_ERROR_INVALID_CONTEXT, "no current context");
+        }
+        Stream* s = resolve_stream(stream);
+        if (s == nullptr) {
+            return fail(CUDA_ERROR_INVALID_HANDLE, "unknown stream handle");
+        }
+        size_t num_args = 0;
+        if (kernel_params != nullptr) {
+            while (kernel_params[num_args] != nullptr) {
+                num_args++;
+            }
+        }
+        ctx->launch(
+            *it->second.image, Dim3(grid_x, grid_y, grid_z),
+            Dim3(block_x, block_y, block_z), shared_mem_bytes, *s, kernel_params,
+            num_args);
+        return CUresult {CUDA_SUCCESS};
+    });
+}
+
+CUresult cuGetErrorName(CUresult error, const char** name) {
+    if (name == nullptr) {
+        return CUDA_ERROR_INVALID_VALUE;
+    }
+    switch (error) {
+        case CUDA_SUCCESS:
+            *name = "CUDA_SUCCESS";
+            return CUresult {CUDA_SUCCESS};
+        case CUDA_ERROR_INVALID_VALUE:
+            *name = "CUDA_ERROR_INVALID_VALUE";
+            return CUresult {CUDA_SUCCESS};
+        case CUDA_ERROR_OUT_OF_MEMORY:
+            *name = "CUDA_ERROR_OUT_OF_MEMORY";
+            return CUresult {CUDA_SUCCESS};
+        case CUDA_ERROR_NOT_INITIALIZED:
+            *name = "CUDA_ERROR_NOT_INITIALIZED";
+            return CUresult {CUDA_SUCCESS};
+        case CUDA_ERROR_NO_DEVICE:
+            *name = "CUDA_ERROR_NO_DEVICE";
+            return CUresult {CUDA_SUCCESS};
+        case CUDA_ERROR_INVALID_DEVICE:
+            *name = "CUDA_ERROR_INVALID_DEVICE";
+            return CUresult {CUDA_SUCCESS};
+        case CUDA_ERROR_INVALID_CONTEXT:
+            *name = "CUDA_ERROR_INVALID_CONTEXT";
+            return CUresult {CUDA_SUCCESS};
+        case CUDA_ERROR_NOT_FOUND:
+            *name = "CUDA_ERROR_NOT_FOUND";
+            return CUresult {CUDA_SUCCESS};
+        case CUDA_ERROR_LAUNCH_FAILED:
+            *name = "CUDA_ERROR_LAUNCH_FAILED";
+            return CUresult {CUDA_SUCCESS};
+        case CUDA_ERROR_LAUNCH_OUT_OF_RESOURCES:
+            *name = "CUDA_ERROR_LAUNCH_OUT_OF_RESOURCES";
+            return CUresult {CUDA_SUCCESS};
+        case CUDA_ERROR_INVALID_HANDLE:
+            *name = "CUDA_ERROR_INVALID_HANDLE";
+            return CUresult {CUDA_SUCCESS};
+    }
+    *name = "CUDA_ERROR_UNKNOWN";
+    return CUDA_ERROR_INVALID_VALUE;
+}
+
+const char* cuGetLastErrorMessage() {
+    return state().last_error.c_str();
+}
+
+void reset_driver_state_for_testing() {
+    DriverState& s = state();
+    s.functions.clear();
+    s.modules.clear();
+    s.streams.clear();
+    s.events.clear();
+    s.contexts.clear();
+    s.current = 0;
+    s.devices.clear();
+    s.initialized = false;
+    s.last_error.clear();
+}
+
+}  // namespace kl::sim::driver

@@ -1,0 +1,107 @@
+#include "cudasim/memory.hpp"
+
+#include <cstring>
+
+#include "util/errors.hpp"
+
+namespace kl::sim {
+
+namespace {
+constexpr uint64_t kGuardGap = 4096;  // unmapped bytes between allocations
+}
+
+DevicePtr MemoryPool::allocate(uint64_t size) {
+    if (size == 0) {
+        throw CudaError("cuMemAlloc: zero-size allocation");
+    }
+    Allocation alloc;
+    alloc.base = next_base_;
+    alloc.size = size;
+    next_base_ += (size + kGuardGap + 255) & ~uint64_t(255);
+    bytes_in_use_ += size;
+    DevicePtr ptr = alloc.base;
+    allocations_.emplace(alloc.base, std::move(alloc));
+    return ptr;
+}
+
+void MemoryPool::free(DevicePtr ptr) {
+    auto it = allocations_.find(ptr);
+    if (it == allocations_.end()) {
+        throw CudaError("cuMemFree: pointer is not an allocation base address");
+    }
+    bytes_in_use_ -= it->second.size;
+    allocations_.erase(it);
+}
+
+const MemoryPool::Allocation* MemoryPool::find(DevicePtr ptr) const {
+    auto it = allocations_.upper_bound(ptr);
+    if (it == allocations_.begin()) {
+        return nullptr;
+    }
+    --it;
+    const Allocation& alloc = it->second;
+    if (ptr >= alloc.base && ptr < alloc.base + alloc.size) {
+        return &alloc;
+    }
+    return nullptr;
+}
+
+MemoryPool::Allocation* MemoryPool::find(DevicePtr ptr) {
+    return const_cast<Allocation*>(static_cast<const MemoryPool*>(this)->find(ptr));
+}
+
+uint64_t MemoryPool::remaining_size(DevicePtr ptr) const {
+    const Allocation* alloc = find(ptr);
+    if (alloc == nullptr) {
+        throw CudaError("invalid device pointer");
+    }
+    return alloc->base + alloc->size - ptr;
+}
+
+void MemoryPool::check_range(DevicePtr ptr, uint64_t size) const {
+    const Allocation* alloc = find(ptr);
+    if (alloc == nullptr) {
+        throw CudaError("invalid device pointer");
+    }
+    if (ptr + size > alloc->base + alloc->size) {
+        throw CudaError(
+            "device memory access out of bounds: " + std::to_string(size)
+            + " bytes at offset " + std::to_string(ptr - alloc->base) + " of a "
+            + std::to_string(alloc->size) + "-byte allocation");
+    }
+}
+
+void* MemoryPool::resolve(DevicePtr ptr, uint64_t size) {
+    check_range(ptr, size);
+    Allocation* alloc = find(ptr);
+    if (alloc->storage.empty()) {
+        // First touch: materialize zero-filled, matching our simulated
+        // cuMemAlloc semantics (deterministic contents).
+        alloc->storage.assign(static_cast<size_t>(alloc->size), std::byte {0});
+    }
+    return alloc->storage.data() + (ptr - alloc->base);
+}
+
+void* MemoryPool::resolve_if_materialized(DevicePtr ptr, uint64_t size) {
+    check_range(ptr, size);
+    Allocation* alloc = find(ptr);
+    if (alloc->storage.empty()) {
+        return nullptr;
+    }
+    return alloc->storage.data() + (ptr - alloc->base);
+}
+
+bool MemoryPool::is_materialized(DevicePtr ptr) const {
+    const Allocation* alloc = find(ptr);
+    if (alloc == nullptr) {
+        throw CudaError("invalid device pointer");
+    }
+    return !alloc->storage.empty();
+}
+
+void MemoryPool::release_all() {
+    allocations_.clear();
+    bytes_in_use_ = 0;
+}
+
+}  // namespace kl::sim

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace kl::sim {
+
+/// Opaque device address, modeled after CUdeviceptr. Address arithmetic
+/// (ptr + offset) works as long as the result stays inside one allocation.
+using DevicePtr = uint64_t;
+
+/// Simulated device memory. Allocations live in a flat virtual address
+/// space with guard gaps between them, so out-of-bounds offsets are caught
+/// rather than silently landing in a neighbor.
+///
+/// Backing host storage is *lazy*: it is only materialized the first time
+/// an allocation is touched by a copy or a functional kernel launch. In
+/// timing-only simulation mode, multi-gigabyte device buffers therefore
+/// cost nothing but bookkeeping — which is what lets the Table 3 capture
+/// experiment handle 512^3 double-precision fields on a small host.
+class MemoryPool {
+  public:
+    MemoryPool() = default;
+    MemoryPool(const MemoryPool&) = delete;
+    MemoryPool& operator=(const MemoryPool&) = delete;
+
+    /// Allocates `size` bytes; returns the device address. Zero-size
+    /// allocations are rejected as in CUDA.
+    DevicePtr allocate(uint64_t size);
+
+    /// Frees an allocation; the pointer must be the exact base address.
+    void free(DevicePtr ptr);
+
+    /// Total bytes currently allocated.
+    uint64_t bytes_in_use() const {
+        return bytes_in_use_;
+    }
+
+    size_t allocation_count() const {
+        return allocations_.size();
+    }
+
+    /// Size of the allocation containing `ptr`, measured from `ptr` to the
+    /// allocation end. Throws CudaError for unmapped addresses.
+    uint64_t remaining_size(DevicePtr ptr) const;
+
+    /// Resolves a device address range to host memory, materializing the
+    /// backing storage (zero-filled) on first touch. Throws CudaError when
+    /// the range is unmapped or crosses the end of the allocation.
+    void* resolve(DevicePtr ptr, uint64_t size);
+
+    /// Like resolve(), but never materializes: returns nullptr when the
+    /// allocation has no backing storage yet (still bounds-checks).
+    void* resolve_if_materialized(DevicePtr ptr, uint64_t size);
+
+    /// Validates a range without materializing.
+    void check_range(DevicePtr ptr, uint64_t size) const;
+
+    /// True when the allocation containing ptr has host backing storage.
+    bool is_materialized(DevicePtr ptr) const;
+
+    void release_all();
+
+  private:
+    struct Allocation {
+        uint64_t base = 0;
+        uint64_t size = 0;
+        std::vector<std::byte> storage;  // empty until materialized
+    };
+
+    /// Finds the allocation containing `ptr`; nullptr when unmapped.
+    const Allocation* find(DevicePtr ptr) const;
+    Allocation* find(DevicePtr ptr);
+
+    // Keyed by base address; map::upper_bound gives containing-allocation
+    // lookup in O(log n).
+    std::map<uint64_t, Allocation> allocations_;
+    uint64_t next_base_ = 0x700000000000ull;  // arbitrary high VA, CUDA-like
+    uint64_t bytes_in_use_ = 0;
+};
+
+}  // namespace kl::sim

@@ -1,0 +1,345 @@
+#include "cudasim/perf_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/errors.hpp"
+#include "util/rng.hpp"
+
+namespace kl::sim {
+
+namespace {
+
+double clamp01(double v) {
+    return std::clamp(v, 0.0, 1.0);
+}
+
+/// Smooth saturation curve: 0 at x=0, ~0.63 at x=1, ->1. Models latency
+/// hiding as a function of available parallelism.
+double saturate(double x) {
+    return 1.0 - std::exp(-x);
+}
+
+struct TunableView {
+    int64_t tile[3] = {1, 1, 1};
+    bool unroll[3] = {false, false, false};
+    bool contiguous[3] = {false, false, false};
+    int order[3] = {0, 1, 2};
+    int64_t min_blocks_per_sm = 0;
+
+    explicit TunableView(const ConstantMap& c) {
+        static constexpr const char* axis_names[3] = {"X", "Y", "Z"};
+        for (int a = 0; a < 3; a++) {
+            std::string ax = axis_names[a];
+            tile[a] = c.get_int_or("TILE_FACTOR_" + ax, 1);
+            unroll[a] = c.get_bool_or("UNROLL_" + ax, false);
+            contiguous[a] = c.get_bool_or("TILE_CONTIGUOUS_" + ax, false);
+        }
+        min_blocks_per_sm = c.get_int_or("BLOCKS_PER_SM", 0);
+        parse_unravel_order(c.get_string_or("UNRAVEL_ORDER", "XYZ"), order);
+    }
+};
+
+}  // namespace
+
+void parse_unravel_order(const std::string& perm, int order[3]) {
+    order[0] = 0;
+    order[1] = 1;
+    order[2] = 2;
+    if (perm.size() != 3) {
+        return;
+    }
+    int parsed[3];
+    bool seen[3] = {false, false, false};
+    for (int i = 0; i < 3; i++) {
+        char c = perm[i];
+        int axis = c == 'X' || c == 'x' ? 0 : c == 'Y' || c == 'y' ? 1 : c == 'Z' || c == 'z' ? 2 : -1;
+        if (axis < 0 || seen[axis]) {
+            return;  // malformed permutation: keep default
+        }
+        seen[axis] = true;
+        parsed[i] = axis;
+    }
+    order[0] = parsed[0];
+    order[1] = parsed[1];
+    order[2] = parsed[2];
+}
+
+int PerfModel::occupancy_blocks_per_sm(
+    const DeviceProperties& device,
+    const KernelImage& image,
+    Dim3 block,
+    uint64_t shared_mem_bytes) const {
+    uint64_t threads = block.volume();
+    if (threads == 0 || threads > static_cast<uint64_t>(device.max_threads_per_block)) {
+        return 0;
+    }
+    uint64_t warps = div_ceil64(threads, 32);
+
+    // Register file: allocation granularity is a full warp.
+    uint64_t regs_per_block = warps * 32 * static_cast<uint64_t>(image.registers_per_thread);
+    uint64_t by_regs = regs_per_block > 0
+        ? static_cast<uint64_t>(device.registers_per_sm) / regs_per_block
+        : UINT64_MAX;
+
+    uint64_t by_threads = static_cast<uint64_t>(device.max_threads_per_sm) / threads;
+    uint64_t by_slots = static_cast<uint64_t>(device.max_blocks_per_sm);
+
+    uint64_t smem = shared_mem_bytes + image.static_shared_memory;
+    uint64_t by_smem = smem > 0 ? device.shared_mem_per_sm / smem : UINT64_MAX;
+
+    uint64_t active = std::min(std::min(by_regs, by_threads), std::min(by_slots, by_smem));
+    return static_cast<int>(std::min<uint64_t>(active, 64));
+}
+
+TimingEstimate PerfModel::estimate(
+    const DeviceProperties& device,
+    const KernelImage& image,
+    Dim3 grid,
+    Dim3 block,
+    uint64_t shared_mem_bytes) const {
+    const KernelProfile& prof = image.profile;
+    const TunableView tv(image.constants);
+    const double e = static_cast<double>(image.element_size);
+    const bool is_double = image.element_size == 8;
+
+    TimingEstimate est;
+
+    const uint64_t threads_per_block = block.volume();
+    const uint64_t warps_per_block = div_ceil64(threads_per_block, 32);
+
+    int active_blocks = occupancy_blocks_per_sm(device, image, block, shared_mem_bytes);
+    if (active_blocks <= 0) {
+        throw CudaError(
+            "launch exceeds device resources (block " + block.to_string() + ", "
+            + std::to_string(image.registers_per_thread) + " regs/thread)");
+    }
+    est.active_blocks_per_sm = active_blocks;
+
+    const double active_warps =
+        static_cast<double>(active_blocks) * static_cast<double>(warps_per_block);
+    est.occupancy = active_warps / device.max_warps_per_sm();
+
+    // ---- Work geometry --------------------------------------------------
+    // Points covered per block along each axis (block extent times tiling).
+    const double span[3] = {
+        static_cast<double>(block.x) * static_cast<double>(tv.tile[0]),
+        static_cast<double>(block.y) * static_cast<double>(tv.tile[1]),
+        static_cast<double>(block.z) * static_cast<double>(tv.tile[2]),
+    };
+    // Per-axis block counts. 3D launches carry them in the grid dims; 1D
+    // launches over a 3D domain (the unravel-permutation pattern) declare
+    // the domain via PROBLEM_SIZE_X/Y/Z compile-time constants instead.
+    double grid_blocks[3] = {
+        static_cast<double>(grid.x),
+        static_cast<double>(grid.y),
+        static_cast<double>(grid.z),
+    };
+    if (grid.y == 1 && grid.z == 1 && image.constants.contains("PROBLEM_SIZE_X")) {
+        for (int a = 0; a < 3; a++) {
+            static constexpr const char* names[3] = {
+                "PROBLEM_SIZE_X", "PROBLEM_SIZE_Y", "PROBLEM_SIZE_Z"};
+            double extent =
+                static_cast<double>(image.constants.get_int_or(names[a], 1));
+            grid_blocks[a] = std::max(1.0, std::ceil(extent / span[a]));
+        }
+    }
+    const double total_blocks = grid_blocks[0] * grid_blocks[1] * grid_blocks[2];
+    const double points_per_block =
+        span[0] * span[1] * span[2];
+    const double total_points = total_blocks * points_per_block;
+
+    // Wave/tail model: blocks execute in waves of (active * #SM).
+    const double wave_capacity =
+        static_cast<double>(active_blocks) * static_cast<double>(device.sm_count);
+    const uint64_t waves =
+        std::max<uint64_t>(1, static_cast<uint64_t>(std::ceil(total_blocks / wave_capacity)));
+    est.waves = waves;
+    est.tail_utilization =
+        clamp01(total_blocks / (static_cast<double>(waves) * wave_capacity));
+
+    // ---- Memory traffic --------------------------------------------------
+    // Coalescing: threads are linearized x-fastest. Contiguous x-tiling
+    // makes each thread read a run of TILE_X consecutive elements, so a
+    // single warp-wide load touches strided addresses. Unrolling lets the
+    // compiler coalesce those into wider per-thread accesses, recovering
+    // part of the loss. Block-strided tiling keeps ideal coalescing.
+    double coalesce = 1.0;
+    const double tx_bytes = static_cast<double>(device.dram_transaction_bytes);
+    const double warp_row_bytes = std::min<double>(block.x, 32) * e;
+    if (warp_row_bytes < 2.0 * tx_bytes) {
+        // Narrow rows waste part of each transaction when the warp folds
+        // across y/z; coarser-granularity DRAM (HBM sectors) wastes more.
+        coalesce *= std::max(0.40, 0.50 + 0.50 * (warp_row_bytes / (2.0 * tx_bytes)));
+    }
+    if (tv.contiguous[0] && tv.tile[0] > 1) {
+        // Per-thread stride of TILE_X elements: each lane's access lands
+        // tx_bytes apart within the warp, wasting (1 - e/stride) of every
+        // transaction in the worst case.
+        const double stride_waste =
+            std::min(1.0, static_cast<double>(tv.tile[0]) * e / tx_bytes);
+        double penalty = 1.0 / (1.0 + 0.35 * (stride_waste - e / tx_bytes) * (tv.tile[0] - 1));
+        if (tv.unroll[0]) {
+            penalty = std::min(1.0, penalty * 1.40);  // vectorized wide loads
+        }
+        coalesce *= std::max(0.40, penalty);
+    }
+    est.coalescing = coalesce;
+
+    // Halo reuse: how much of the redundant stencil traffic is served from
+    // cache instead of DRAM. Modeled per axis, weighted by that axis' share
+    // of the stencil footprint.
+    const double halo_total = static_cast<double>(prof.halo[0] + prof.halo[1] + prof.halo[2]);
+    double reuse = 1.0;
+    if (halo_total > 0) {
+        const double block_footprint_bytes =
+            points_per_block * e * (prof.reads_ideal + prof.writes);
+        double recovered = 0.0;
+        for (int a = 0; a < 3; a++) {
+            if (prof.halo[a] == 0) {
+                continue;
+            }
+            const double weight = static_cast<double>(prof.halo[a]) / halo_total;
+            // Fraction of this axis' halo traffic that crosses a block
+            // boundary (amortized over the block span on that axis).
+            const double boundary =
+                std::min(1.0, 2.0 * static_cast<double>(prof.halo[a]) / span[a]);
+
+            double hit;
+            if (a == 0) {
+                // X halos are shared within a warp through L1 almost for
+                // free; register-level reuse improves with contiguous,
+                // unrolled x-tiling. L1 capacity pressure erodes this when
+                // the resident blocks' working sets exceed the cache: high
+                // occupancy plus fat tiles thrash L1.
+                hit = block.x >= 32 ? 0.92 : 0.80;
+                if (tv.contiguous[0] && tv.unroll[0] && tv.tile[0] > 1) {
+                    // Register blocking: unrolled contiguous x-tiling keeps
+                    // the sliding stencil window entirely in registers.
+                    hit = std::min(0.99, hit + 0.18);
+                }
+                const double resident_bytes = static_cast<double>(active_blocks)
+                    * points_per_block * e * (prof.reads_ideal + prof.writes);
+                const double l1_pressure = clamp01(
+                    static_cast<double>(device.l1_cache_bytes) / (resident_bytes + 1.0));
+                hit *= 0.45 + 0.55 * l1_pressure;
+            } else {
+                // Y/Z halos come from neighboring blocks; they hit in L2
+                // when the neighbor ran recently. The number of blocks
+                // scheduled between neighbors along axis `a` is the product
+                // of the grid extents of all axes that unravel faster.
+                double schedule_distance = 1.0;
+                for (int pos = 0; pos < 3; pos++) {
+                    int axis = tv.order[pos];
+                    if (axis == a) {
+                        break;
+                    }
+                    schedule_distance *= grid_blocks[axis];
+                }
+                const double bytes_between = schedule_distance * block_footprint_bytes;
+                // Cliff-shaped: halos survive in L2 only with ~2x headroom
+                // over the traffic scheduled between neighbor blocks.
+                const double headroom =
+                    static_cast<double>(device.l2_cache_bytes) / (bytes_between + 1.0);
+                hit = clamp01(1.25 * headroom - 0.25);
+                hit = std::min(hit, params_.l2_reuse_cap);
+            }
+            recovered += weight * (1.0 - boundary * (1.0 - hit));
+        }
+        reuse = clamp01(recovered);
+    }
+    est.halo_reuse = reuse;
+
+    const double reads_per_point =
+        prof.reads_ideal + (prof.reads_stream - prof.reads_ideal) * (1.0 - reuse);
+    const double spill_bytes =
+        static_cast<double>(image.spilled_registers) * params_.spill_bytes_per_register;
+    const double bytes_per_point = e * (reads_per_point + prof.writes) + spill_bytes;
+    est.dram_bytes = total_points * bytes_per_point;
+
+    // Latency hiding: effective parallelism grows with unrolled tiled axes
+    // (more outstanding loads per thread).
+    int unrolled_axes = 0;
+    int rolled_tiled_axes = 0;
+    for (int a = 0; a < 3; a++) {
+        if (tv.tile[a] > 1) {
+            if (tv.unroll[a]) {
+                unrolled_axes++;
+            } else {
+                rolled_tiled_axes++;
+            }
+        }
+    }
+    const double mlp = 1.0 + params_.unroll_mlp_bonus * unrolled_axes;
+    // Saturating DRAM needs outstanding traffic proportional to the
+    // bandwidth each SM must feed: an A100 SM (14.4 GB/s) needs more
+    // resident warps than an A4000 SM (9.3 GB/s).
+    const double bw_per_sm = device.memory_bandwidth_gbs / device.sm_count;
+    const double mem_warps_needed = params_.mem_latency_warp_fraction
+        * device.max_warps_per_sm() * (bw_per_sm / 10.0);
+    const double mem_hiding = saturate(active_warps * mlp / mem_warps_needed);
+    // Partition camping: how a launch's address pattern resonates with the
+    // DRAM channel interleave depends on the device's channel count and
+    // hashing, the warp row span, the tiling stride, and the row length of
+    // the problem. Modeled as a deterministic per-(device, shape, problem)
+    // bandwidth factor — the mechanism that makes the best block shape
+    // idiosyncratic to a GPU even within one architecture.
+    uint64_t camping_key = fnv1a(device.name);
+    camping_key = hash_combine(camping_key, static_cast<uint64_t>(device.memory_channels));
+    camping_key = hash_combine(camping_key, static_cast<uint64_t>(span[0] * e));
+    camping_key = hash_combine(camping_key, block.x);
+    camping_key = hash_combine(camping_key, static_cast<uint64_t>(tv.contiguous[0]) * 2
+        + static_cast<uint64_t>(tv.order[0]));
+    camping_key = hash_combine(camping_key, static_cast<uint64_t>(grid_blocks[0]));
+    Rng camping_rng(camping_key);
+    const double camping = 1.0 - params_.camping_amplitude * camping_rng.next_double();
+
+    const double effective_bw =
+        device.memory_bandwidth_gbs * 1e9 * coalesce * mem_hiding * camping;
+    est.memory_seconds = est.dram_bytes / effective_bw;
+
+    // ---- Compute ---------------------------------------------------------
+    est.flops = total_points * prof.flops_per_point;
+    const double peak =
+        (is_double ? device.peak_dp_gflops : device.peak_sp_gflops) * 1e9;
+    const double ilp = 1.0 + params_.unroll_ilp_bonus * unrolled_axes;
+    const double cmp_warps_needed =
+        params_.compute_latency_warp_fraction * device.max_warps_per_sm();
+    double compute_eff = saturate(active_warps * ilp / cmp_warps_needed);
+    compute_eff /=
+        1.0 + params_.spill_compute_penalty * static_cast<double>(image.spilled_registers);
+    // Launch-bounds register squeezing: mild ILP loss per shaved register.
+    compute_eff /= 1.0 + 0.002 * static_cast<double>(image.squeezed_registers);
+    // Tiled loops that stay rolled pay per-iteration branch/index overhead.
+    compute_eff /= 1.0 + 0.08 * rolled_tiled_axes;
+    est.compute_seconds = est.flops / (peak * compute_eff);
+
+    est.compute_bound = est.compute_seconds > est.memory_seconds;
+
+    // ---- Combine ---------------------------------------------------------
+    double core = std::max(est.memory_seconds, est.compute_seconds)
+        + params_.overlap_residual * std::min(est.memory_seconds, est.compute_seconds);
+    core /= std::max(est.tail_utilization, 1e-6);
+
+    est.overhead_seconds = params_.fixed_overhead_us * 1e-6
+        + static_cast<double>(waves) * params_.wave_overhead_us * 1e-6;
+
+    double seconds = core + est.overhead_seconds;
+
+    // Deterministic per-configuration jitter: the same instance always
+    // lands on the same time, but near-equal configurations are unordered
+    // in a hardware-plausible way.
+    uint64_t key = fnv1a(device.name);
+    key = hash_combine(key, fnv1a(image.lowered_name));
+    key = hash_combine(key, image.constants.digest());
+    key = hash_combine(key, grid.volume());
+    Rng jitter_rng(key);
+    seconds *= 1.0 + params_.jitter_amplitude * (2.0 * jitter_rng.next_double() - 1.0);
+
+    est.seconds = seconds;
+    est.achieved_bandwidth_gbs = est.dram_bytes / seconds / 1e9;
+    est.achieved_gflops = est.flops / seconds / 1e9;
+    return est;
+}
+
+}  // namespace kl::sim

@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstdint>
+
+namespace kl::sim {
+
+/// Simulated time. The simulator maintains a virtual clock (seconds since
+/// context creation); device work advances stream timelines on that clock.
+/// All experiment "wall clock" axes (e.g. the tuning-session plots) are
+/// expressed in this simulated time, which makes runs machine-independent
+/// and bit-reproducible.
+class SimClock {
+  public:
+    double now() const noexcept {
+        return now_;
+    }
+
+    void advance(double seconds) noexcept {
+        now_ += seconds;
+    }
+
+    void advance_to(double t) noexcept {
+        if (t > now_) {
+            now_ = t;
+        }
+    }
+
+  private:
+    double now_ = 0;
+};
+
+/// A CUDA stream: an in-order work queue with its own completion horizon on
+/// the simulated clock.
+class Stream {
+  public:
+    explicit Stream(uint64_t id = 0) noexcept: id_(id) {}
+
+    uint64_t id() const noexcept {
+        return id_;
+    }
+
+    /// Time at which all currently-enqueued work completes.
+    double busy_until() const noexcept {
+        return busy_until_;
+    }
+
+    /// Enqueues `duration` seconds of device work; work starts when both
+    /// the host has issued it (`host_now`) and prior stream work finished.
+    /// Returns the work's start time.
+    double enqueue(double duration, double host_now) noexcept {
+        double start = busy_until_ > host_now ? busy_until_ : host_now;
+        busy_until_ = start + duration;
+        return start;
+    }
+
+  private:
+    uint64_t id_;
+    double busy_until_ = 0;
+};
+
+/// A CUDA event: captures a position on a stream's timeline.
+class Event {
+  public:
+    bool recorded() const noexcept {
+        return recorded_;
+    }
+
+    double time() const noexcept {
+        return time_;
+    }
+
+    void record(const Stream& stream) noexcept {
+        time_ = stream.busy_until();
+        recorded_ = true;
+    }
+
+    /// Records with host-issue-time semantics: an event marker enqueued on
+    /// an idle stream completes "now", not at the stream's last horizon.
+    void record(const Stream& stream, double host_now) noexcept {
+        time_ = stream.busy_until() > host_now ? stream.busy_until() : host_now;
+        recorded_ = true;
+    }
+
+    /// Elapsed seconds between two recorded events.
+    static double elapsed(const Event& start, const Event& end) noexcept {
+        return end.time_ - start.time_;
+    }
+
+  private:
+    double time_ = 0;
+    bool recorded_ = false;
+};
+
+}  // namespace kl::sim

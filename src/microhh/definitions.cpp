@@ -1,0 +1,107 @@
+#include "microhh/definitions.hpp"
+
+#include "microhh/kernels.hpp"
+#include "util/errors.hpp"
+
+namespace kl::microhh {
+
+using core::Expr;
+using core::KernelBuilder;
+using core::KernelSource;
+using core::Value;
+
+const char* precision_name(Precision p) noexcept {
+    return p == Precision::Float32 ? "float" : "double";
+}
+
+size_t precision_size(Precision p) noexcept {
+    return p == Precision::Float32 ? 4 : 8;
+}
+
+std::string variant_name(const std::string& kernel, Precision precision) {
+    return kernel + "_" + precision_name(precision);
+}
+
+namespace {
+
+/// Declares the full Table 2 search space on a builder and wires the
+/// common launch geometry: a 3D thread block launched as a 1D grid of
+/// ceil(n/span) blocks per axis (span = block * tile), with the unravel
+/// permutation turning the 1D block id back into 3D coordinates inside
+/// the kernel.
+///
+/// `px/py/pz` are the problem-size expressions (from scalar arguments).
+void declare_table2_space(KernelBuilder& builder, Expr px, Expr py, Expr pz) {
+    using core::div_ceil;
+
+    Expr bx = builder.tune("BLOCK_SIZE_X", {16, 32, 64, 128, 256}, 256);
+    Expr by = builder.tune("BLOCK_SIZE_Y", {1, 2, 4, 8, 16}, 1);
+    Expr bz = builder.tune("BLOCK_SIZE_Z", {1, 2, 4, 8, 16}, 1);
+    Expr tx = builder.tune("TILE_FACTOR_X", {1, 2, 4}, 1);
+    Expr ty = builder.tune("TILE_FACTOR_Y", {1, 2, 4}, 1);
+    Expr tz = builder.tune("TILE_FACTOR_Z", {1, 2, 4}, 1);
+    builder.tune("UNROLL_X", {Value(true), Value(false)}, Value(false));
+    builder.tune("UNROLL_Y", {Value(true), Value(false)}, Value(false));
+    builder.tune("UNROLL_Z", {Value(true), Value(false)}, Value(false));
+    builder.tune("TILE_CONTIGUOUS_X", {Value(true), Value(false)}, Value(false));
+    builder.tune("TILE_CONTIGUOUS_Y", {Value(true), Value(false)}, Value(false));
+    builder.tune("TILE_CONTIGUOUS_Z", {Value(true), Value(false)}, Value(false));
+    builder.tune(
+        "UNRAVEL_ORDER",
+        {Value("XYZ"), Value("XZY"), Value("YXZ"), Value("YZX"), Value("ZXY"),
+         Value("ZYX")},
+        Value("XYZ"));
+    builder.tune("BLOCKS_PER_SM", {1, 2, 3, 4, 5, 6}, 1);
+
+    // Hardware validity: a CUDA thread block holds at most 1024 threads;
+    // fewer than a warp wastes the SIMD width outright. These restrictions
+    // prune the 7,776,000-point cartesian space to launchable configs.
+    builder.restriction(bx * by * bz <= 1024);
+    builder.restriction(bx * by * bz >= 32);
+
+    builder.problem_size(px, py, pz);
+    builder.block_size(bx, by, bz);
+
+    // 1D launch: total blocks = product of per-axis block counts.
+    Expr nbx = div_ceil(core::problem_x, bx * tx);
+    Expr nby = div_ceil(core::problem_y, by * ty);
+    Expr nbz = div_ceil(core::problem_z, bz * tz);
+    builder.grid_size(nbx * nby * nbz, 1, 1);
+
+    // Bake the domain extents into the instance: the kernels use them for
+    // unraveling, and the simulator's performance model recovers per-axis
+    // block counts from them for 1D launches.
+    builder.define("PROBLEM_SIZE_X", core::problem_x);
+    builder.define("PROBLEM_SIZE_Y", core::problem_y);
+    builder.define("PROBLEM_SIZE_Z", core::problem_z);
+}
+
+}  // namespace
+
+KernelBuilder make_advec_u_builder(Precision precision) {
+    register_microhh_kernels();
+    KernelBuilder builder(
+        "advec_u", KernelSource::inline_source("advec_u.cu", advec_u_source()));
+    builder.tuning_key(variant_name("advec_u", precision));
+    // advec_u(ut, u, dxi, dyi, dzi, itot, jtot, ktot, icells, ijcells)
+    declare_table2_space(builder, core::arg5, core::arg6, core::arg7);
+    builder.template_args(Expr(precision_name(precision)));
+    builder.output_arg(0);  // ut is written, never read
+    return builder;
+}
+
+KernelBuilder make_diff_uvw_builder(Precision precision) {
+    register_microhh_kernels();
+    KernelBuilder builder(
+        "diff_uvw", KernelSource::inline_source("diff_uvw.cu", diff_uvw_source()));
+    builder.tuning_key(variant_name("diff_uvw", precision));
+    // diff_uvw(ut, vt, wt, u, v, w, visc, dxi, dyi, dzi,
+    //          itot, jtot, ktot, icells, ijcells)
+    declare_table2_space(
+        builder, Expr::arg(10), Expr::arg(11), Expr::arg(12));
+    builder.template_args(Expr(precision_name(precision)));
+    builder.output_arg(0).output_arg(1).output_arg(2);  // ut, vt, wt
+    return builder;
+}
+
+}  // namespace kl::microhh

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <string>
+
+#include "core/kernel_def.hpp"
+
+namespace kl::microhh {
+
+/// Floating-point precision of a kernel instantiation (the paper tunes
+/// float and double variants of each kernel separately).
+enum class Precision { Float32, Float64 };
+
+const char* precision_name(Precision p) noexcept;      ///< "float" / "double"
+size_t precision_size(Precision p) noexcept;           ///< 4 / 8
+
+/// Tunable kernel definition of advec_u with the full 14-parameter search
+/// space of the paper's Table 2 (5^3 block sizes, 3^3 tile factors, 2^6
+/// unroll/stride booleans, 6 unravel permutations, 6 launch-bounds values:
+/// 7,776,000 configurations before restrictions).
+///
+/// Argument convention (matching the registered kernel implementation):
+///   advec_u(ut, u, dxi, dyi, dzi, itot, jtot, ktot, icells, ijcells)
+core::KernelBuilder make_advec_u_builder(Precision precision);
+
+/// Tunable kernel definition of diff_uvw (same search space).
+///
+///   diff_uvw(ut, vt, wt, u, v, w, visc, dxi, dyi, dzi,
+///            itot, jtot, ktot, icells, ijcells)
+core::KernelBuilder make_diff_uvw_builder(Precision precision);
+
+/// Kernel name with precision suffix used for wisdom/capture bookkeeping
+/// when float and double variants are tuned side by side:
+/// e.g. "advec_u_float".
+std::string variant_name(const std::string& kernel, Precision precision);
+
+}  // namespace kl::microhh

@@ -1,0 +1,43 @@
+#include "microhh/grid.hpp"
+
+#include <cmath>
+
+namespace kl::microhh {
+
+template<typename T>
+void Field3d<T>::fill_turbulent(uint64_t seed, double amplitude) {
+    Rng rng(seed);
+    // Random phases for a handful of modes keep the field smooth but
+    // non-trivial; a little white noise on top breaks symmetries.
+    const double phase1 = rng.next_double(0, 2 * M_PI);
+    const double phase2 = rng.next_double(0, 2 * M_PI);
+    const double phase3 = rng.next_double(0, 2 * M_PI);
+
+    const int icells = grid_.icells();
+    const int jcells = grid_.jcells();
+    const int kcells = grid_.kcells();
+    const double fx = 2.0 * M_PI / grid_.itot;
+    const double fy = 2.0 * M_PI / grid_.jtot;
+    const double fz = 2.0 * M_PI / grid_.ktot;
+
+    size_t n = 0;
+    for (int k = 0; k < kcells; k++) {
+        for (int j = 0; j < jcells; j++) {
+            for (int i = 0; i < icells; i++, n++) {
+                double x = (i - kGhostX) * fx;
+                double y = (j - kGhostY) * fy;
+                double z = (k - kGhostZ) * fz;
+                double value = std::sin(x + phase1) * std::cos(2 * y + phase2)
+                    + 0.5 * std::cos(3 * z + phase3) * std::sin(y)
+                    + 0.25 * std::sin(2 * x) * std::sin(z)
+                    + 0.05 * rng.next_gaussian();
+                data_[n] = static_cast<T>(amplitude * value);
+            }
+        }
+    }
+}
+
+template class Field3d<float>;
+template class Field3d<double>;
+
+}  // namespace kl::microhh

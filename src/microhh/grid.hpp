@@ -1,0 +1,129 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/errors.hpp"
+#include "util/rng.hpp"
+
+namespace kl::microhh {
+
+/// Ghost-cell widths of the simulation fields. The advection kernel's
+/// fifth-order x-interpolation needs three ghost cells in x (and the
+/// cross terms one in y/z); we pad y like x to keep rows aligned, and z
+/// with a single layer, matching the layout whose field sizes reproduce
+/// the capture sizes in the paper's Table 3.
+inline constexpr int kGhostX = 3;
+inline constexpr int kGhostY = 3;
+inline constexpr int kGhostZ = 1;
+
+/// A 3D computational grid (interior extent plus ghost cells) in
+/// x-fastest, row-major layout, the layout of MicroHH fields.
+struct Grid {
+    int itot = 0;  ///< interior points along x
+    int jtot = 0;  ///< interior points along y
+    int ktot = 0;  ///< interior points along z
+    double xsize = 1.0, ysize = 1.0, zsize = 1.0;
+
+    Grid() = default;
+    Grid(int itot_, int jtot_, int ktot_): itot(itot_), jtot(jtot_), ktot(ktot_) {
+        if (itot <= 0 || jtot <= 0 || ktot <= 0) {
+            throw Error("grid extents must be positive");
+        }
+    }
+
+    int icells() const noexcept {
+        return itot + 2 * kGhostX;
+    }
+    int jcells() const noexcept {
+        return jtot + 2 * kGhostY;
+    }
+    int kcells() const noexcept {
+        return ktot + 2 * kGhostZ;
+    }
+
+    /// Stride between consecutive y rows.
+    int64_t jstride() const noexcept {
+        return icells();
+    }
+    /// Stride between consecutive z planes.
+    int64_t kstride() const noexcept {
+        return static_cast<int64_t>(icells()) * jcells();
+    }
+
+    /// Total cells including ghosts (= device field length).
+    int64_t ncells() const noexcept {
+        return kstride() * kcells();
+    }
+
+    /// Flat index of interior point (i, j, k), 0-based interior coords.
+    int64_t index(int i, int j, int k) const noexcept {
+        return (static_cast<int64_t>(k + kGhostZ) * jcells() + (j + kGhostY)) * icells()
+            + (i + kGhostX);
+    }
+
+    double dx() const noexcept {
+        return xsize / itot;
+    }
+    double dy() const noexcept {
+        return ysize / jtot;
+    }
+    double dz() const noexcept {
+        return zsize / ktot;
+    }
+
+    std::string to_string() const {
+        return std::to_string(itot) + "x" + std::to_string(jtot) + "x" + std::to_string(ktot);
+    }
+};
+
+/// Host-side field with ghost cells, matching the device layout.
+template<typename T>
+class Field3d {
+  public:
+    explicit Field3d(const Grid& grid):
+        grid_(grid),
+        data_(static_cast<size_t>(grid.ncells()), T(0)) {}
+
+    const Grid& grid() const noexcept {
+        return grid_;
+    }
+
+    T* data() noexcept {
+        return data_.data();
+    }
+    const T* data() const noexcept {
+        return data_.data();
+    }
+    size_t size() const noexcept {
+        return data_.size();
+    }
+    const std::vector<T>& vec() const noexcept {
+        return data_;
+    }
+    std::vector<T>& vec() noexcept {
+        return data_;
+    }
+
+    T& at(int i, int j, int k) noexcept {
+        return data_[static_cast<size_t>(grid_.index(i, j, k))];
+    }
+    const T& at(int i, int j, int k) const noexcept {
+        return data_[static_cast<size_t>(grid_.index(i, j, k))];
+    }
+
+    /// Fills interior *and* ghost cells with a smooth, deterministic flow
+    /// field (superposed sinusoids plus seeded noise) so stencils have
+    /// meaningful data everywhere without a boundary-exchange step.
+    void fill_turbulent(uint64_t seed, double amplitude = 1.0);
+
+  private:
+    Grid grid_;
+    std::vector<T> data_;
+};
+
+extern template class Field3d<float>;
+extern template class Field3d<double>;
+
+}  // namespace kl::microhh

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <string>
+
+namespace kl::microhh {
+
+/// Registers the MicroHH kernels (advec_u, diff_uvw) with the simulated
+/// NVRTC kernel registry: cost-model profiles plus host implementations
+/// that execute the tunable work assignment faithfully. Idempotent.
+void register_microhh_kernels();
+
+/// CUDA source text of the tunable kernels, as would live in the MicroHH
+/// source tree. Parsed by the simulated NVRTC and embedded into captures.
+const std::string& advec_u_source();
+const std::string& diff_uvw_source();
+
+/// Ghost-cell geometry constants shared with Grid (compile-time constants
+/// of the kernel sources).
+inline constexpr int kKernelGhostX = 3;
+inline constexpr int kKernelGhostY = 3;
+inline constexpr int kKernelGhostZ = 1;
+
+}  // namespace kl::microhh

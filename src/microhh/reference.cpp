@@ -1,0 +1,66 @@
+#include "microhh/reference.hpp"
+
+#include "microhh/stencil_math.hpp"
+
+namespace kl::microhh {
+
+template<typename T>
+void advec_u_reference(Field3d<T>& ut, const Field3d<T>& u, T dxi, T dyi, T dzi) {
+    const Grid& grid = u.grid();
+    const int64_t ii = 1;
+    const int64_t jj = grid.jstride();
+    const int64_t kk = grid.kstride();
+    const T* up = u.data();
+    T* utp = ut.data();
+    for (int k = 0; k < grid.ktot; k++) {
+        for (int j = 0; j < grid.jtot; j++) {
+            const int64_t row = grid.index(0, j, k);
+            for (int i = 0; i < grid.itot; i++) {
+                const int64_t ijk = row + i;
+                utp[ijk] = advec_u_point<T>(up, ijk, ii, jj, kk, dxi, dyi, dzi);
+            }
+        }
+    }
+}
+
+template<typename T>
+void diff_uvw_reference(
+    Field3d<T>& ut,
+    Field3d<T>& vt,
+    Field3d<T>& wt,
+    const Field3d<T>& u,
+    const Field3d<T>& v,
+    const Field3d<T>& w,
+    T visc,
+    T dxi,
+    T dyi,
+    T dzi) {
+    const Grid& grid = u.grid();
+    const int64_t ii = 1;
+    const int64_t jj = grid.jstride();
+    const int64_t kk = grid.kstride();
+    for (int k = 0; k < grid.ktot; k++) {
+        for (int j = 0; j < grid.jtot; j++) {
+            const int64_t row = grid.index(0, j, k);
+            for (int i = 0; i < grid.itot; i++) {
+                const int64_t ijk = row + i;
+                diff_uvw_point<T>(
+                    ut.data()[ijk], vt.data()[ijk], wt.data()[ijk], u.data(), v.data(),
+                    w.data(), ijk, ii, jj, kk, visc, dxi, dyi, dzi);
+            }
+        }
+    }
+}
+
+template void advec_u_reference(Field3d<float>&, const Field3d<float>&, float, float, float);
+template void advec_u_reference(Field3d<double>&, const Field3d<double>&, double, double, double);
+template void diff_uvw_reference(
+    Field3d<float>&, Field3d<float>&, Field3d<float>&,
+    const Field3d<float>&, const Field3d<float>&, const Field3d<float>&,
+    float, float, float, float);
+template void diff_uvw_reference(
+    Field3d<double>&, Field3d<double>&, Field3d<double>&,
+    const Field3d<double>&, const Field3d<double>&, const Field3d<double>&,
+    double, double, double, double);
+
+}  // namespace kl::microhh

@@ -1,0 +1,44 @@
+#pragma once
+
+#include "microhh/grid.hpp"
+
+namespace kl::microhh {
+
+/// Scalar reference implementations of the tunable kernels: plain triple
+/// loops over the interior, calling the shared per-point formulas. Tests
+/// compare every tunable configuration's output against these (bit-exact,
+/// since both sides evaluate identical expressions per point).
+
+template<typename T>
+void advec_u_reference(
+    Field3d<T>& ut,
+    const Field3d<T>& u,
+    T dxi,
+    T dyi,
+    T dzi);
+
+template<typename T>
+void diff_uvw_reference(
+    Field3d<T>& ut,
+    Field3d<T>& vt,
+    Field3d<T>& wt,
+    const Field3d<T>& u,
+    const Field3d<T>& v,
+    const Field3d<T>& w,
+    T visc,
+    T dxi,
+    T dyi,
+    T dzi);
+
+extern template void advec_u_reference(Field3d<float>&, const Field3d<float>&, float, float, float);
+extern template void advec_u_reference(Field3d<double>&, const Field3d<double>&, double, double, double);
+extern template void diff_uvw_reference(
+    Field3d<float>&, Field3d<float>&, Field3d<float>&,
+    const Field3d<float>&, const Field3d<float>&, const Field3d<float>&,
+    float, float, float, float);
+extern template void diff_uvw_reference(
+    Field3d<double>&, Field3d<double>&, Field3d<double>&,
+    const Field3d<double>&, const Field3d<double>&, const Field3d<double>&,
+    double, double, double, double);
+
+}  // namespace kl::microhh

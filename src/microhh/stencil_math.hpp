@@ -1,0 +1,110 @@
+#pragma once
+
+#include <cstdint>
+
+namespace kl::microhh {
+
+/// Per-point stencil formulas shared by the simulated-CUDA kernel
+/// implementations and the scalar reference implementations. Both sides
+/// call exactly these functions, so for a given input field every
+/// configuration of the tunable work assignment must produce bit-identical
+/// output — which is what the validation tests assert.
+
+/// Fifth-order interpolation to the half-level between c and d
+/// (upwind-biased 5-point formula, as in MicroHH's advec_2i5 scheme).
+template<typename T>
+inline T interp5(T a, T b, T c, T d, T e) {
+    return (T(2) * a - T(13) * b + T(47) * c + T(27) * d - T(3) * e) * (T(1) / T(60));
+}
+
+/// Advection tendency of u along x with fifth-order interpolated face
+/// values, plus second-order cross terms in y and z. `ii/jj/kk` are the
+/// element strides along x/y/z.
+template<typename T>
+inline T advec_u_point(
+    const T* u,
+    int64_t ijk,
+    int64_t ii,
+    int64_t jj,
+    int64_t kk,
+    T dxi,
+    T dyi,
+    T dzi) {
+    const T uc = u[ijk];
+    // Face values at i+1/2 and i-1/2 via 5th-order interpolation.
+    const T face_r = interp5(u[ijk - 2 * ii], u[ijk - ii], uc, u[ijk + ii], u[ijk + 2 * ii]);
+    const T face_l = interp5(u[ijk - 3 * ii], u[ijk - 2 * ii], u[ijk - ii], uc, u[ijk + ii]);
+    const T adv_x =
+        ((uc + u[ijk + ii]) * face_r - (u[ijk - ii] + uc) * face_l) * (T(0.5) * dxi);
+    // Second-order conservative-flavored cross terms.
+    const T adv_y = (u[ijk + jj] - u[ijk - jj]) * (u[ijk + jj] + u[ijk - jj] + uc)
+        * (T(0.25) * dyi);
+    const T adv_z = (u[ijk + kk] - u[ijk - kk]) * (u[ijk + kk] + u[ijk - kk] + uc)
+        * (T(0.25) * dzi);
+    return -(adv_x + adv_y + adv_z);
+}
+
+/// Seven-point Laplacian with per-axis inverse-spacing-squared factors.
+template<typename T>
+inline T laplacian(
+    const T* a,
+    int64_t ijk,
+    int64_t ii,
+    int64_t jj,
+    int64_t kk,
+    T dxi2,
+    T dyi2,
+    T dzi2) {
+    return (a[ijk + ii] - T(2) * a[ijk] + a[ijk - ii]) * dxi2
+        + (a[ijk + jj] - T(2) * a[ijk] + a[ijk - jj]) * dyi2
+        + (a[ijk + kk] - T(2) * a[ijk] + a[ijk - kk]) * dzi2;
+}
+
+/// Smagorinsky-flavored eddy viscosity at a point: molecular viscosity
+/// scaled by (1 + |S|^2) with S the resolved divergence-like strain proxy.
+template<typename T>
+inline T eddy_viscosity_point(
+    const T* u,
+    const T* v,
+    const T* w,
+    int64_t ijk,
+    int64_t ii,
+    int64_t jj,
+    int64_t kk,
+    T visc,
+    T dxi,
+    T dyi,
+    T dzi) {
+    const T s = (u[ijk + ii] - u[ijk - ii]) * (T(0.5) * dxi)
+        + (v[ijk + jj] - v[ijk - jj]) * (T(0.5) * dyi)
+        + (w[ijk + kk] - w[ijk - kk]) * (T(0.5) * dzi);
+    return visc * (T(1) + s * s);
+}
+
+/// Diffusion tendencies of all three velocity components at one point.
+template<typename T>
+inline void diff_uvw_point(
+    T& ut,
+    T& vt,
+    T& wt,
+    const T* u,
+    const T* v,
+    const T* w,
+    int64_t ijk,
+    int64_t ii,
+    int64_t jj,
+    int64_t kk,
+    T visc,
+    T dxi,
+    T dyi,
+    T dzi) {
+    const T dxi2 = dxi * dxi;
+    const T dyi2 = dyi * dyi;
+    const T dzi2 = dzi * dzi;
+    const T evisc = eddy_viscosity_point(u, v, w, ijk, ii, jj, kk, visc, dxi, dyi, dzi);
+    ut = evisc * laplacian(u, ijk, ii, jj, kk, dxi2, dyi2, dzi2);
+    vt = evisc * laplacian(v, ijk, ii, jj, kk, dxi2, dyi2, dzi2);
+    wt = evisc * laplacian(w, ijk, ii, jj, kk, dxi2, dyi2, dzi2);
+}
+
+}  // namespace kl::microhh

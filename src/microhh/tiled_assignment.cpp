@@ -1,0 +1,24 @@
+#include "microhh/tiled_assignment.hpp"
+
+#include "cudasim/perf_model.hpp"
+
+namespace kl::microhh {
+
+TiledAssignment TiledAssignment::from_constants(const sim::ConstantMap& constants) {
+    TiledAssignment out;
+    static constexpr const char* axes[3] = {"X", "Y", "Z"};
+    for (int a = 0; a < 3; a++) {
+        std::string ax = axes[a];
+        out.block[a] = constants.get_int("BLOCK_SIZE_" + ax);
+        out.tile[a] = constants.get_int_or("TILE_FACTOR_" + ax, 1);
+        out.contiguous[a] = constants.get_bool_or("TILE_CONTIGUOUS_" + ax, false);
+        if (out.block[a] < 1 || out.tile[a] < 1) {
+            throw Error("non-positive block size or tile factor");
+        }
+    }
+    sim::parse_unravel_order(
+        constants.get_string_or("UNRAVEL_ORDER", "XYZ"), out.order);
+    return out;
+}
+
+}  // namespace kl::microhh

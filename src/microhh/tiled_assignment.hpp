@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstdint>
+
+#include "cudasim/kernel_image.hpp"
+#include "util/errors.hpp"
+
+namespace kl::microhh {
+
+/// Faithful emulation of the tunable work assignment of the MicroHH GPU
+/// kernels (paper §5.2): thread blocks are launched as a 1D list, each
+/// block unravels its id into a 3D block index (per the UNRAVEL_ORDER
+/// permutation), covers a (BLOCK*TILE) extent per axis, and each thread
+/// processes TILE points per axis either contiguously or block-strided.
+///
+/// Every grid point must be visited exactly once; the validation tests
+/// compare each configuration's output against the scalar reference, so an
+/// off-by-one in this indexing (just like in a real tiled CUDA kernel)
+/// fails loudly.
+struct TiledAssignment {
+    int64_t block[3] = {1, 1, 1};
+    int64_t tile[3] = {1, 1, 1};
+    bool contiguous[3] = {false, false, false};
+    int order[3] = {0, 1, 2};  ///< order[0] = fastest-unraveling axis
+
+    static TiledAssignment from_constants(const sim::ConstantMap& constants);
+
+    /// Points covered by one block along axis `a`.
+    int64_t span(int a) const noexcept {
+        return block[a] * tile[a];
+    }
+
+    /// Number of blocks needed along axis `a` for extent `n`.
+    int64_t blocks_along(int a, int64_t n) const noexcept {
+        return (n + span(a) - 1) / span(a);
+    }
+
+    /// Invokes f(i, j, k) for every in-bounds point assigned to the launch
+    /// of `total_blocks` blocks over the extents n[3]. Throws CudaError
+    /// when the launch grid does not match the assignment (mirroring a
+    /// kernel reading garbage when launched with the wrong geometry).
+    template<typename F>
+    void for_each_point(uint32_t total_blocks, const int64_t n[3], F&& f) const {
+        const int64_t nb[3] = {
+            blocks_along(0, n[0]), blocks_along(1, n[1]), blocks_along(2, n[2])};
+        if (nb[0] * nb[1] * nb[2] != static_cast<int64_t>(total_blocks)) {
+            throw CudaError(
+                "launch grid (" + std::to_string(total_blocks)
+                + " blocks) does not match tiled work assignment ("
+                + std::to_string(nb[0] * nb[1] * nb[2]) + " blocks)");
+        }
+
+        for (uint32_t bid = 0; bid < total_blocks; bid++) {
+            // Unravel the 1D block id into 3D block coordinates in the
+            // configured axis order.
+            int64_t b3[3];
+            int64_t rest = bid;
+            for (int pos = 0; pos < 3; pos++) {
+                int axis = order[pos];
+                b3[axis] = rest % nb[axis];
+                rest /= nb[axis];
+            }
+            const int64_t base[3] = {
+                b3[0] * span(0), b3[1] * span(1), b3[2] * span(2)};
+
+            // Iterate the block's points in ascending-coordinate order.
+            // Contiguous and block-strided tiling assign the same point
+            // *set* to a block — they differ in which thread touches which
+            // point, which is a performance property (modeled by the
+            // performance model), not a functional one.
+            for (int64_t sz = 0; sz < span(2); sz++) {
+                const int64_t z = base[2] + sz;
+                if (z >= n[2]) {
+                    break;
+                }
+                for (int64_t sy = 0; sy < span(1); sy++) {
+                    const int64_t y = base[1] + sy;
+                    if (y >= n[1]) {
+                        break;
+                    }
+                    for (int64_t sx = 0; sx < span(0); sx++) {
+                        const int64_t x = base[0] + sx;
+                        if (x >= n[0]) {
+                            break;
+                        }
+                        f(x, y, z);
+                    }
+                }
+            }
+        }
+    }
+};
+
+}  // namespace kl::microhh

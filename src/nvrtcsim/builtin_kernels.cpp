@@ -1,0 +1,204 @@
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "cudasim/kernel_image.hpp"
+#include "nvrtcsim/registry.hpp"
+#include "util/errors.hpp"
+
+namespace kl::rtc {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// vector_add — the paper's Listing 1: a one-dimensional element-wise kernel
+// with the block size as a template parameter.
+// ---------------------------------------------------------------------------
+
+const std::string kVectorAddSource = R"cuda(
+template <int block_size>
+__global__ void vector_add(float *c, float *a, float *b, int n) {
+    int i = blockIdx.x * block_size + threadIdx.x;
+    if (i < n) {
+        c[i] = a[i] + b[i];
+    }
+}
+)cuda";
+
+sim::KernelImage::Impl make_vector_add(const sim::ConstantMap& constants) {
+    int64_t block_size = constants.get_int("block_size");
+    if (block_size < 1 || block_size > 1024) {
+        throw Error("vector_add: block_size out of range");
+    }
+    return [block_size](const sim::LaunchParams& p) {
+        const int n = p.scalar<int>(3);
+        float* c = p.buffer<float>(0, static_cast<size_t>(n));
+        const float* a = p.buffer<float>(1, static_cast<size_t>(n));
+        const float* b = p.buffer<float>(2, static_cast<size_t>(n));
+        for (uint32_t blk = 0; blk < p.grid.x; blk++) {
+            for (int64_t thread = 0; thread < block_size; thread++) {
+                int64_t i = static_cast<int64_t>(blk) * block_size + thread;
+                if (i < n) {
+                    c[i] = a[i] + b[i];
+                }
+            }
+        }
+    };
+}
+
+// ---------------------------------------------------------------------------
+// saxpy — classic y = a*x + y, block size via a preprocessor define.
+// ---------------------------------------------------------------------------
+
+const std::string kSaxpySource = R"cuda(
+__global__ void saxpy(float *y, const float *x, float a, int n) {
+    int i = blockIdx.x * BLOCK_SIZE + threadIdx.x;
+    if (i < n) {
+        y[i] = a * x[i] + y[i];
+    }
+}
+)cuda";
+
+sim::KernelImage::Impl make_saxpy(const sim::ConstantMap& constants) {
+    int64_t block_size = constants.get_int("BLOCK_SIZE");
+    return [block_size](const sim::LaunchParams& p) {
+        const float a = p.scalar<float>(2);
+        const int n = p.scalar<int>(3);
+        float* y = p.buffer<float>(0, static_cast<size_t>(n));
+        const float* x = p.buffer<float>(1, static_cast<size_t>(n));
+        for (uint32_t blk = 0; blk < p.grid.x; blk++) {
+            for (int64_t thread = 0; thread < block_size; thread++) {
+                int64_t i = static_cast<int64_t>(blk) * block_size + thread;
+                if (i < n) {
+                    y[i] = a * x[i] + y[i];
+                }
+            }
+        }
+    };
+}
+
+// ---------------------------------------------------------------------------
+// copy3d — a 3D memcpy-like kernel with a templated element type; exercises
+// 3D launches and template-type binding in tests.
+// ---------------------------------------------------------------------------
+
+const std::string kCopy3dSource = R"cuda(
+template <typename real>
+__global__ void copy3d(real *dst, const real *src, int nx, int ny, int nz) {
+    int x = blockIdx.x * blockDim.x + threadIdx.x;
+    int y = blockIdx.y * blockDim.y + threadIdx.y;
+    int z = blockIdx.z * blockDim.z + threadIdx.z;
+    if (x < nx && y < ny && z < nz) {
+        long long i = (long long)z * ny * nx + (long long)y * nx + x;
+        dst[i] = src[i];
+    }
+}
+)cuda";
+
+template<typename T>
+void run_copy3d(const sim::LaunchParams& p) {
+    const int nx = p.scalar<int>(2);
+    const int ny = p.scalar<int>(3);
+    const int nz = p.scalar<int>(4);
+    const size_t count = static_cast<size_t>(nx) * ny * nz;
+    T* dst = p.buffer<T>(0, count);
+    const T* src = p.buffer<T>(1, count);
+    for (uint32_t bz = 0; bz < p.grid.z; bz++) {
+        for (uint32_t by = 0; by < p.grid.y; by++) {
+            for (uint32_t bx = 0; bx < p.grid.x; bx++) {
+                for (uint32_t tz = 0; tz < p.block.z; tz++) {
+                    for (uint32_t ty = 0; ty < p.block.y; ty++) {
+                        for (uint32_t tx = 0; tx < p.block.x; tx++) {
+                            int64_t x = static_cast<int64_t>(bx) * p.block.x + tx;
+                            int64_t y = static_cast<int64_t>(by) * p.block.y + ty;
+                            int64_t z = static_cast<int64_t>(bz) * p.block.z + tz;
+                            if (x < nx && y < ny && z < nz) {
+                                int64_t i = (z * ny + y) * nx + x;
+                                dst[i] = src[i];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+sim::KernelImage::Impl make_copy3d(const sim::ConstantMap& constants) {
+    std::string real = constants.get_string_or("real", "float");
+    if (real == "float") {
+        return run_copy3d<float>;
+    }
+    if (real == "double") {
+        return run_copy3d<double>;
+    }
+    throw Error("copy3d: unsupported element type '" + real + "'");
+}
+
+const std::map<std::string, std::string>& builtin_sources() {
+    static const std::map<std::string, std::string> sources = {
+        {"vector_add", kVectorAddSource},
+        {"saxpy", kSaxpySource},
+        {"copy3d", kCopy3dSource},
+    };
+    return sources;
+}
+
+}  // namespace
+
+void register_builtin_kernels() {
+    static const bool done = [] {
+        KernelRegistry& registry = KernelRegistry::global();
+
+        {
+            KernelEntry entry;
+            entry.name = "vector_add";
+            entry.template_params = {"block_size"};
+            entry.required_constants = {"block_size"};
+            entry.profile.flops_per_point = 1.0;
+            entry.profile.reads_ideal = 2.0;
+            entry.profile.reads_stream = 2.0;
+            entry.profile.writes = 1.0;
+            entry.profile.base_registers = 10;
+            entry.make_impl = make_vector_add;
+            registry.add(std::move(entry));
+        }
+        {
+            KernelEntry entry;
+            entry.name = "saxpy";
+            entry.required_constants = {"BLOCK_SIZE"};
+            entry.profile.flops_per_point = 2.0;
+            entry.profile.reads_ideal = 2.0;
+            entry.profile.reads_stream = 2.0;
+            entry.profile.writes = 1.0;
+            entry.profile.base_registers = 12;
+            entry.make_impl = make_saxpy;
+            registry.add(std::move(entry));
+        }
+        {
+            KernelEntry entry;
+            entry.name = "copy3d";
+            entry.template_params = {"real"};
+            entry.profile.flops_per_point = 0.0;
+            entry.profile.reads_ideal = 1.0;
+            entry.profile.reads_stream = 1.0;
+            entry.profile.writes = 1.0;
+            entry.profile.base_registers = 14;
+            entry.make_impl = make_copy3d;
+            registry.add(std::move(entry));
+        }
+        return true;
+    }();
+    (void) done;
+}
+
+const std::string& builtin_kernel_source(const std::string& name) {
+    const auto& sources = builtin_sources();
+    auto it = sources.find(name);
+    if (it == sources.end()) {
+        throw Error("no built-in kernel source named '" + name + "'");
+    }
+    return it->second;
+}
+
+}  // namespace kl::rtc

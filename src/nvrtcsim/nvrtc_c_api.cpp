@@ -1,0 +1,264 @@
+#include "nvrtcsim/nvrtc_c_api.hpp"
+
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nvrtcsim/nvrtc.hpp"
+#include "util/errors.hpp"
+
+namespace kl::rtc::c_api {
+
+namespace {
+
+struct ProgramState {
+    std::string source;
+    std::string file_name;
+    std::vector<std::string> name_expressions;
+    std::string log;
+    bool compiled = false;
+    double compile_seconds = 0;
+    std::vector<sim::KernelImage> images;
+    // expression -> lowered name (stable storage for nvrtcGetLoweredName)
+    std::map<std::string, std::string> lowered;
+};
+
+struct ShimState {
+    std::map<nvrtcProgram, std::unique_ptr<ProgramState>> programs;
+    uint64_t next_handle = 1;
+};
+
+ShimState& state() {
+    static ShimState instance;
+    return instance;
+}
+
+ProgramState* get(nvrtcProgram program) {
+    auto it = state().programs.find(program);
+    return it == state().programs.end() ? nullptr : it->second.get();
+}
+
+}  // namespace
+
+const char* nvrtcGetErrorString(nvrtcResult result) {
+    switch (result) {
+        case NVRTC_SUCCESS:
+            return "NVRTC_SUCCESS";
+        case NVRTC_ERROR_OUT_OF_MEMORY:
+            return "NVRTC_ERROR_OUT_OF_MEMORY";
+        case NVRTC_ERROR_PROGRAM_CREATION_FAILURE:
+            return "NVRTC_ERROR_PROGRAM_CREATION_FAILURE";
+        case NVRTC_ERROR_INVALID_INPUT:
+            return "NVRTC_ERROR_INVALID_INPUT";
+        case NVRTC_ERROR_INVALID_PROGRAM:
+            return "NVRTC_ERROR_INVALID_PROGRAM";
+        case NVRTC_ERROR_INVALID_OPTION:
+            return "NVRTC_ERROR_INVALID_OPTION";
+        case NVRTC_ERROR_COMPILATION:
+            return "NVRTC_ERROR_COMPILATION";
+        case NVRTC_ERROR_NAME_EXPRESSION_NOT_VALID:
+            return "NVRTC_ERROR_NAME_EXPRESSION_NOT_VALID";
+    }
+    return "NVRTC_ERROR_UNKNOWN";
+}
+
+nvrtcResult nvrtcCreateProgram(
+    nvrtcProgram* program,
+    const char* source,
+    const char* name,
+    int num_headers,
+    const char* const* /*headers*/,
+    const char* const* /*include_names*/) {
+    if (program == nullptr || source == nullptr) {
+        return NVRTC_ERROR_INVALID_INPUT;
+    }
+    if (num_headers != 0) {
+        return NVRTC_ERROR_INVALID_INPUT;  // headers unsupported in the simulator
+    }
+    auto entry = std::make_unique<ProgramState>();
+    entry->source = source;
+    entry->file_name = name != nullptr ? name : "<inline>";
+    nvrtcProgram handle = state().next_handle++;
+    state().programs.emplace(handle, std::move(entry));
+    *program = handle;
+    return NVRTC_SUCCESS;
+}
+
+nvrtcResult nvrtcAddNameExpression(nvrtcProgram program, const char* name_expression) {
+    ProgramState* p = get(program);
+    if (p == nullptr) {
+        return NVRTC_ERROR_INVALID_PROGRAM;
+    }
+    if (name_expression == nullptr || *name_expression == '\0') {
+        return NVRTC_ERROR_NAME_EXPRESSION_NOT_VALID;
+    }
+    if (p->compiled) {
+        return NVRTC_ERROR_INVALID_INPUT;  // must precede compilation
+    }
+    p->name_expressions.emplace_back(name_expression);
+    return NVRTC_SUCCESS;
+}
+
+nvrtcResult nvrtcCompileProgram(
+    nvrtcProgram program,
+    int num_options,
+    const char* const* options) {
+    ProgramState* p = get(program);
+    if (p == nullptr) {
+        return NVRTC_ERROR_INVALID_PROGRAM;
+    }
+    if (p->name_expressions.empty()) {
+        p->log = "error: no name expressions registered (the simulated NVRTC "
+                 "resolves kernels via nvrtcAddNameExpression)\n";
+        return NVRTC_ERROR_INVALID_INPUT;
+    }
+    std::vector<std::string> opts;
+    for (int i = 0; i < num_options; i++) {
+        if (options == nullptr || options[i] == nullptr) {
+            return NVRTC_ERROR_INVALID_INPUT;
+        }
+        opts.emplace_back(options[i]);
+    }
+
+    try {
+        auto [base, args] = parse_name_expression(p->name_expressions.front());
+        Program compiler(base, p->source, p->file_name);
+        for (const std::string& expression : p->name_expressions) {
+            compiler.add_name_expression(expression);
+        }
+        CompileResult result = compiler.compile(opts);
+        p->log = result.log;
+        p->compile_seconds = result.compile_seconds;
+        p->images = std::move(result.images);
+        for (size_t i = 0; i < p->name_expressions.size(); i++) {
+            p->lowered[p->name_expressions[i]] = p->images[i].lowered_name;
+        }
+        p->compiled = true;
+        return NVRTC_SUCCESS;
+    } catch (const CompileError& e) {
+        p->log = e.log();
+        return NVRTC_ERROR_COMPILATION;
+    } catch (const Error& e) {
+        p->log = std::string("error: ") + e.what() + "\n";
+        return NVRTC_ERROR_COMPILATION;
+    }
+}
+
+nvrtcResult nvrtcGetProgramLogSize(nvrtcProgram program, size_t* size) {
+    ProgramState* p = get(program);
+    if (p == nullptr) {
+        return NVRTC_ERROR_INVALID_PROGRAM;
+    }
+    if (size == nullptr) {
+        return NVRTC_ERROR_INVALID_INPUT;
+    }
+    *size = p->log.size() + 1;
+    return NVRTC_SUCCESS;
+}
+
+nvrtcResult nvrtcGetProgramLog(nvrtcProgram program, char* log) {
+    ProgramState* p = get(program);
+    if (p == nullptr) {
+        return NVRTC_ERROR_INVALID_PROGRAM;
+    }
+    if (log == nullptr) {
+        return NVRTC_ERROR_INVALID_INPUT;
+    }
+    std::memcpy(log, p->log.c_str(), p->log.size() + 1);
+    return NVRTC_SUCCESS;
+}
+
+nvrtcResult nvrtcGetPTXSize(nvrtcProgram program, size_t* size) {
+    ProgramState* p = get(program);
+    if (p == nullptr) {
+        return NVRTC_ERROR_INVALID_PROGRAM;
+    }
+    if (size == nullptr || !p->compiled) {
+        return NVRTC_ERROR_INVALID_INPUT;
+    }
+    *size = p->images.front().ptx.size() + 1;
+    return NVRTC_SUCCESS;
+}
+
+nvrtcResult nvrtcGetPTX(nvrtcProgram program, char* ptx) {
+    ProgramState* p = get(program);
+    if (p == nullptr) {
+        return NVRTC_ERROR_INVALID_PROGRAM;
+    }
+    if (ptx == nullptr || !p->compiled) {
+        return NVRTC_ERROR_INVALID_INPUT;
+    }
+    const std::string& text = p->images.front().ptx;
+    std::memcpy(ptx, text.c_str(), text.size() + 1);
+    return NVRTC_SUCCESS;
+}
+
+nvrtcResult nvrtcGetLoweredName(
+    nvrtcProgram program,
+    const char* name_expression,
+    const char** lowered_name) {
+    ProgramState* p = get(program);
+    if (p == nullptr) {
+        return NVRTC_ERROR_INVALID_PROGRAM;
+    }
+    if (name_expression == nullptr || lowered_name == nullptr || !p->compiled) {
+        return NVRTC_ERROR_INVALID_INPUT;
+    }
+    auto it = p->lowered.find(name_expression);
+    if (it == p->lowered.end()) {
+        return NVRTC_ERROR_NAME_EXPRESSION_NOT_VALID;
+    }
+    *lowered_name = it->second.c_str();
+    return NVRTC_SUCCESS;
+}
+
+nvrtcResult klGetImage(
+    nvrtcProgram program,
+    const char* lowered_name,
+    const void** image) {
+    ProgramState* p = get(program);
+    if (p == nullptr) {
+        return NVRTC_ERROR_INVALID_PROGRAM;
+    }
+    if (lowered_name == nullptr || image == nullptr || !p->compiled) {
+        return NVRTC_ERROR_INVALID_INPUT;
+    }
+    for (const sim::KernelImage& candidate : p->images) {
+        if (candidate.lowered_name == lowered_name || candidate.name == lowered_name) {
+            *image = &candidate;
+            return NVRTC_SUCCESS;
+        }
+    }
+    return NVRTC_ERROR_NAME_EXPRESSION_NOT_VALID;
+}
+
+nvrtcResult klGetCompileSeconds(nvrtcProgram program, double* seconds) {
+    ProgramState* p = get(program);
+    if (p == nullptr) {
+        return NVRTC_ERROR_INVALID_PROGRAM;
+    }
+    if (seconds == nullptr) {
+        return NVRTC_ERROR_INVALID_INPUT;
+    }
+    *seconds = p->compile_seconds;
+    return NVRTC_SUCCESS;
+}
+
+nvrtcResult nvrtcDestroyProgram(nvrtcProgram* program) {
+    if (program == nullptr) {
+        return NVRTC_ERROR_INVALID_INPUT;
+    }
+    if (state().programs.erase(*program) == 0) {
+        return NVRTC_ERROR_INVALID_PROGRAM;
+    }
+    *program = 0;
+    return NVRTC_SUCCESS;
+}
+
+void reset_nvrtc_state_for_testing() {
+    state().programs.clear();
+}
+
+}  // namespace kl::rtc::c_api

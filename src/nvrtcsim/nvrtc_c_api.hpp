@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+/// An nvrtc*-style C API over the simulated runtime compiler, mirroring
+/// the NVRTC entry points Kernel Launcher (and typical host code) uses:
+/// program creation, name expressions, compilation, logs, PTX retrieval
+/// and lowered-name lookup. Together with cudasim/driver.hpp this lets
+/// host code be written verbatim against the familiar CUDA vocabulary:
+///
+///     nvrtcProgram prog;
+///     nvrtcCreateProgram(&prog, source, "vector_add.cu", 0, nullptr, nullptr);
+///     nvrtcAddNameExpression(prog, "vector_add<128>");
+///     nvrtcCompileProgram(prog, 1, opts);
+///     nvrtcGetLoweredName(prog, "vector_add<128>", &lowered);
+///     klGetImage(prog, lowered, &image);       // simulated "cubin"
+///     cuModuleLoadData(&module, image);
+///
+/// `klGetImage` replaces nvrtcGetCUBIN: the simulated binary format is a
+/// staged kl::sim::KernelImage (see cuModuleLoadData).
+
+namespace kl::rtc::c_api {
+
+enum nvrtcResult_ {
+    NVRTC_SUCCESS = 0,
+    NVRTC_ERROR_OUT_OF_MEMORY = 1,
+    NVRTC_ERROR_PROGRAM_CREATION_FAILURE = 2,
+    NVRTC_ERROR_INVALID_INPUT = 3,
+    NVRTC_ERROR_INVALID_PROGRAM = 4,
+    NVRTC_ERROR_INVALID_OPTION = 5,
+    NVRTC_ERROR_COMPILATION = 6,
+    NVRTC_ERROR_NAME_EXPRESSION_NOT_VALID = 9,
+};
+using nvrtcResult = int;
+
+using nvrtcProgram = uint64_t;
+
+const char* nvrtcGetErrorString(nvrtcResult result);
+
+/// Creates a program from source text. Headers are accepted for API
+/// compatibility but must be zero (the simulated compiler resolves
+/// nothing by include).
+nvrtcResult nvrtcCreateProgram(
+    nvrtcProgram* program,
+    const char* source,
+    const char* name,
+    int num_headers,
+    const char* const* headers,
+    const char* const* include_names);
+
+/// Registers an instantiation to compile and make queryable via
+/// nvrtcGetLoweredName. Must be called before nvrtcCompileProgram.
+nvrtcResult nvrtcAddNameExpression(nvrtcProgram program, const char* name_expression);
+
+/// Compiles all registered name expressions with the given options. On
+/// compilation failure returns NVRTC_ERROR_COMPILATION and the log is
+/// retrievable; the program stays valid.
+nvrtcResult nvrtcCompileProgram(
+    nvrtcProgram program,
+    int num_options,
+    const char* const* options);
+
+nvrtcResult nvrtcGetProgramLogSize(nvrtcProgram program, size_t* size);
+nvrtcResult nvrtcGetProgramLog(nvrtcProgram program, char* log);
+
+/// Pseudo-PTX of the first compiled instance.
+nvrtcResult nvrtcGetPTXSize(nvrtcProgram program, size_t* size);
+nvrtcResult nvrtcGetPTX(nvrtcProgram program, char* ptx);
+
+/// Lowered (instance) name of a registered name expression. The returned
+/// pointer stays valid until the program is destroyed.
+nvrtcResult nvrtcGetLoweredName(
+    nvrtcProgram program,
+    const char* name_expression,
+    const char** lowered_name);
+
+/// Simulated-binary accessor (stands in for nvrtcGetCUBIN): the image for
+/// the given lowered (or base) kernel name, suitable for cuModuleLoadData.
+/// Valid until the program is destroyed.
+nvrtcResult klGetImage(
+    nvrtcProgram program,
+    const char* lowered_name,
+    const void** image);
+
+/// Modeled compile latency of the last nvrtcCompileProgram call, in
+/// seconds (an extension: callers charge it to their simulated clock).
+nvrtcResult klGetCompileSeconds(nvrtcProgram program, double* seconds);
+
+nvrtcResult nvrtcDestroyProgram(nvrtcProgram* program);
+
+/// Testing hook: drops all shim state.
+void reset_nvrtc_state_for_testing();
+
+}  // namespace kl::rtc::c_api

@@ -1,0 +1,40 @@
+#include "nvrtcsim/registry.hpp"
+
+#include "util/errors.hpp"
+
+namespace kl::rtc {
+
+KernelRegistry& KernelRegistry::global() {
+    static KernelRegistry instance;
+    return instance;
+}
+
+void KernelRegistry::add(KernelEntry entry) {
+    if (entry.name.empty()) {
+        throw Error("kernel registry entry must have a name");
+    }
+    entries_[entry.name] = std::move(entry);
+}
+
+bool KernelRegistry::contains(const std::string& name) const {
+    return entries_.count(name) != 0;
+}
+
+const KernelEntry& KernelRegistry::lookup(const std::string& name) const {
+    auto it = entries_.find(name);
+    if (it == entries_.end()) {
+        throw Error("no kernel implementation registered under name '" + name + "'");
+    }
+    return it->second;
+}
+
+std::vector<std::string> KernelRegistry::names() const {
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const auto& [name, entry] : entries_) {
+        out.push_back(name);
+    }
+    return out;
+}
+
+}  // namespace kl::rtc

@@ -1,0 +1,117 @@
+#include "tuner/cache.hpp"
+
+#include <fstream>
+
+#include "util/errors.hpp"
+#include "util/fs.hpp"
+#include "util/strings.hpp"
+
+namespace kl::tuner {
+
+namespace {
+// Cache hits cost a line read, not a benchmark; sessions resume in
+// near-zero simulated time.
+constexpr double kHitOverheadSeconds = 1e-3;
+}  // namespace
+
+TuningCache::TuningCache(
+    std::string path,
+    std::string kernel_key,
+    std::string device_name,
+    core::ProblemSize problem_size):
+    path_(std::move(path)),
+    kernel_key_(std::move(kernel_key)),
+    device_name_(std::move(device_name)),
+    problem_size_(problem_size) {
+    if (!file_exists(path_)) {
+        // Fresh cache: write the header.
+        json::Value header = json::Value::object();
+        header["kernel"] = kernel_key_;
+        header["device"] = device_name_;
+        header["problem_size"] = problem_size_.to_json();
+        header["version"] = "1";
+        write_text_file(path_, header.dump() + "\n");
+        return;
+    }
+
+    const std::string text = read_text_file(path_);
+    std::vector<std::string> lines = split(text, '\n');
+    if (lines.empty() || trim(lines[0]).empty()) {
+        throw Error("tuning cache '" + path_ + "' is missing its header");
+    }
+    json::Value header = json::parse(lines[0]);
+    if (header.get_string_or("kernel", "") != kernel_key_
+        || header.get_string_or("device", "") != device_name_
+        || core::ProblemSize::from_json(header["problem_size"]) != problem_size_) {
+        throw Error(
+            "tuning cache '" + path_ + "' belongs to a different tuning task ("
+            + header.get_string_or("kernel", "?") + " on "
+            + header.get_string_or("device", "?") + ")");
+    }
+
+    for (size_t i = 1; i < lines.size(); i++) {
+        std::string_view line = trim(lines[i]);
+        if (line.empty()) {
+            continue;
+        }
+        json::Value entry = json::parse(line);
+        core::Config config = core::Config::from_json(entry["config"]);
+        EvalOutcome outcome;
+        outcome.valid = entry.get_bool_or("valid", false);
+        if (outcome.valid) {
+            outcome.kernel_seconds = entry["kernel_ms"].as_double() * 1e-3;
+            outcome.average_seconds =
+                entry.get_double_or("average_ms", outcome.kernel_seconds * 1e3) * 1e-3;
+        } else {
+            outcome.error = entry.get_string_or("error", "unknown failure");
+        }
+        outcome.overhead_seconds = kHitOverheadSeconds;
+        entries_[config.digest()] = std::move(outcome);
+    }
+}
+
+std::optional<EvalOutcome> TuningCache::lookup(const core::Config& config) const {
+    auto it = entries_.find(config.digest());
+    if (it == entries_.end()) {
+        return std::nullopt;
+    }
+    return it->second;
+}
+
+void TuningCache::store(const core::Config& config, const EvalOutcome& outcome) {
+    EvalOutcome cached = outcome;
+    cached.overhead_seconds = kHitOverheadSeconds;
+    entries_[config.digest()] = cached;
+
+    json::Value entry = json::Value::object();
+    entry["config"] = config.to_json();
+    entry["valid"] = outcome.valid;
+    if (outcome.valid) {
+        entry["kernel_ms"] = outcome.kernel_seconds * 1e3;
+        entry["average_ms"] = outcome.average_seconds * 1e3;
+    } else {
+        entry["error"] = outcome.error;
+    }
+
+    std::ofstream out(path_, std::ios::app | std::ios::binary);
+    if (!out) {
+        throw IoError("cannot append to tuning cache: " + path_);
+    }
+    out << entry.dump() << "\n";
+    if (!out) {
+        throw IoError("error while writing tuning cache: " + path_);
+    }
+}
+
+EvalOutcome CachingRunner::evaluate(const core::Config& config) {
+    if (std::optional<EvalOutcome> cached = cache_->lookup(config)) {
+        hits_++;
+        return *cached;
+    }
+    misses_++;
+    EvalOutcome outcome = inner_->evaluate(config);
+    cache_->store(config, outcome);
+    return outcome;
+}
+
+}  // namespace kl::tuner

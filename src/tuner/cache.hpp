@@ -1,0 +1,80 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "core/problem_size.hpp"
+#include "tuner/runner.hpp"
+
+namespace kl::tuner {
+
+/// Persistent tuning cache, modeled on Kernel Tuner's cache files: every
+/// evaluated configuration is appended (JSON-lines) as soon as it is
+/// measured, so an interrupted tuning session resumes without
+/// re-benchmarking anything. A cache is scoped to one (kernel, device,
+/// problem size) tuning task; opening it for a different task fails
+/// loudly instead of silently mixing measurements.
+///
+/// File layout: a header line followed by one entry per line:
+///
+///     {"device": "...", "kernel": "...", "problem_size": [..], "version": "1"}
+///     {"config": {...}, "valid": true, "kernel_ms": 0.123, "average_ms": 0.125}
+///     {"config": {...}, "valid": false, "error": "launch out of resources"}
+class TuningCache {
+  public:
+    /// Opens (and creates if absent) the cache at `path`, loading all
+    /// existing entries. Throws kl::Error when the file belongs to a
+    /// different tuning task or is corrupt.
+    TuningCache(
+        std::string path,
+        std::string kernel_key,
+        std::string device_name,
+        core::ProblemSize problem_size);
+
+    /// Cached outcome for a configuration, if present. Hits report a
+    /// near-zero overhead (reading a cache line, not benchmarking).
+    std::optional<EvalOutcome> lookup(const core::Config& config) const;
+
+    /// Appends an entry (immediately persisted).
+    void store(const core::Config& config, const EvalOutcome& outcome);
+
+    size_t size() const noexcept {
+        return entries_.size();
+    }
+
+    const std::string& path() const noexcept {
+        return path_;
+    }
+
+  private:
+    std::string path_;
+    std::string kernel_key_;
+    std::string device_name_;
+    core::ProblemSize problem_size_;
+    std::map<uint64_t, EvalOutcome> entries_;
+};
+
+/// Runner decorator that consults a TuningCache before delegating to the
+/// real runner, and records every fresh measurement.
+class CachingRunner: public Runner {
+  public:
+    CachingRunner(Runner& inner, TuningCache& cache): inner_(&inner), cache_(&cache) {}
+
+    EvalOutcome evaluate(const core::Config& config) override;
+
+    uint64_t hits() const noexcept {
+        return hits_;
+    }
+    uint64_t misses() const noexcept {
+        return misses_;
+    }
+
+  private:
+    Runner* inner_;
+    TuningCache* cache_;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+};
+
+}  // namespace kl::tuner

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace kl {
+
+/// Base class for every error thrown by this project. Catching `kl::Error`
+/// catches everything the library raises on purpose.
+class Error: public std::runtime_error {
+  public:
+    explicit Error(std::string message): std::runtime_error(std::move(message)) {}
+};
+
+/// Malformed JSON text or a JSON value of an unexpected shape.
+class JsonError: public Error {
+  public:
+    using Error::Error;
+};
+
+/// Invalid use of the kernel-definition API (unknown parameter, duplicate
+/// tunable, expression referencing a missing argument, ...).
+class DefinitionError: public Error {
+  public:
+    using Error::Error;
+};
+
+/// Failure reported by the simulated CUDA driver (bad handle, out-of-bounds
+/// copy, invalid launch configuration, ...).
+class CudaError: public Error {
+  public:
+    using Error::Error;
+};
+
+/// Runtime-compilation failure; carries the compiler log.
+class CompileError: public Error {
+  public:
+    CompileError(std::string message, std::string log):
+        Error(std::move(message)),
+        log_(std::move(log)) {}
+
+    const std::string& log() const noexcept {
+        return log_;
+    }
+
+  private:
+    std::string log_;
+};
+
+/// Filesystem-level failure (missing capture, unwritable wisdom dir, ...).
+class IoError: public Error {
+  public:
+    using Error::Error;
+};
+
+}  // namespace kl

@@ -1,0 +1,143 @@
+#include "util/fs.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/errors.hpp"
+
+namespace kl {
+
+namespace stdfs = std::filesystem;
+
+bool file_exists(const std::string& path) {
+    std::error_code ec;
+    return stdfs::exists(path, ec);
+}
+
+void create_directories(const std::string& path) {
+    std::error_code ec;
+    stdfs::create_directories(path, ec);
+    if (ec) {
+        throw IoError("cannot create directory '" + path + "': " + ec.message());
+    }
+}
+
+void remove_file(const std::string& path) {
+    std::error_code ec;
+    stdfs::remove(path, ec);
+    if (ec) {
+        throw IoError("cannot remove '" + path + "': " + ec.message());
+    }
+}
+
+uint64_t file_size(const std::string& path) {
+    std::error_code ec;
+    uint64_t size = stdfs::file_size(path, ec);
+    if (ec) {
+        throw IoError("cannot stat '" + path + "': " + ec.message());
+    }
+    return size;
+}
+
+std::vector<std::string> list_directory(const std::string& dir) {
+    std::vector<std::string> out;
+    std::error_code ec;
+    stdfs::directory_iterator it(dir, ec);
+    if (ec) {
+        return out;
+    }
+    for (const auto& entry : it) {
+        if (entry.is_regular_file()) {
+            out.push_back(entry.path().string());
+        }
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::string read_text_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        throw IoError("cannot open file for reading: " + path);
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+void write_text_file(const std::string& path, const std::string& content) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+        throw IoError("cannot open file for writing: " + path);
+    }
+    out << content;
+    if (!out) {
+        throw IoError("error while writing file: " + path);
+    }
+}
+
+std::vector<std::byte> read_binary_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (!in) {
+        throw IoError("cannot open file for reading: " + path);
+    }
+    std::streamsize size = in.tellg();
+    in.seekg(0);
+    std::vector<std::byte> data(static_cast<size_t>(size));
+    if (size > 0 && !in.read(reinterpret_cast<char*>(data.data()), size)) {
+        throw IoError("error while reading file: " + path);
+    }
+    return data;
+}
+
+void write_binary_file(const std::string& path, const void* data, size_t size) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+        throw IoError("cannot open file for writing: " + path);
+    }
+    if (size > 0) {
+        out.write(static_cast<const char*>(data), static_cast<std::streamsize>(size));
+    }
+    if (!out) {
+        throw IoError("error while writing file: " + path);
+    }
+}
+
+std::optional<std::string> get_env(const std::string& name) {
+    const char* value = std::getenv(name.c_str());
+    if (value == nullptr || *value == '\0') {
+        return std::nullopt;
+    }
+    return std::string(value);
+}
+
+std::string path_join(const std::string& a, const std::string& b) {
+    return (stdfs::path(a) / b).string();
+}
+
+std::string path_filename(const std::string& path) {
+    return stdfs::path(path).filename().string();
+}
+
+std::string make_temp_dir(const std::string& prefix) {
+    static std::atomic<uint64_t> counter {0};
+    stdfs::path base = stdfs::temp_directory_path();
+    for (int attempt = 0; attempt < 100; attempt++) {
+        stdfs::path candidate = base
+            / (prefix + "-" + std::to_string(::getpid()) + "-"
+               + std::to_string(counter.fetch_add(1)));
+        std::error_code ec;
+        if (stdfs::create_directory(candidate, ec)) {
+            return candidate.string();
+        }
+    }
+    throw IoError("cannot create temporary directory with prefix " + prefix);
+}
+
+}  // namespace kl

@@ -1,0 +1,140 @@
+#include "util/strings.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+
+namespace kl {
+
+std::vector<std::string> split(std::string_view text, char sep) {
+    std::vector<std::string> out;
+    size_t start = 0;
+    while (true) {
+        size_t pos = text.find(sep, start);
+        if (pos == std::string_view::npos) {
+            out.emplace_back(text.substr(start));
+            return out;
+        }
+        out.emplace_back(text.substr(start, pos - start));
+        start = pos + 1;
+    }
+}
+
+std::vector<std::string> split_trimmed(std::string_view text, char sep) {
+    std::vector<std::string> out;
+    for (const std::string& field : split(text, sep)) {
+        std::string_view t = trim(field);
+        if (!t.empty()) {
+            out.emplace_back(t);
+        }
+    }
+    return out;
+}
+
+std::string_view trim(std::string_view text) {
+    size_t begin = 0;
+    size_t end = text.size();
+    while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) {
+        begin++;
+    }
+    while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+        end--;
+    }
+    return text.substr(begin, end - begin);
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+    std::string out;
+    for (size_t i = 0; i < parts.size(); i++) {
+        if (i > 0) {
+            out += sep;
+        }
+        out += parts[i];
+    }
+    return out;
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+    return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view text, std::string_view suffix) {
+    return text.size() >= suffix.size() && text.substr(text.size() - suffix.size()) == suffix;
+}
+
+bool iequals(std::string_view a, std::string_view b) {
+    return a.size() == b.size()
+        && std::equal(a.begin(), a.end(), b.begin(), [](char x, char y) {
+               return std::tolower(static_cast<unsigned char>(x))
+                   == std::tolower(static_cast<unsigned char>(y));
+           });
+}
+
+std::string to_lower(std::string_view text) {
+    std::string out(text);
+    std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+        return static_cast<char>(std::tolower(c));
+    });
+    return out;
+}
+
+bool glob_match(std::string_view pattern, std::string_view text) {
+    // Iterative matcher with backtracking over the last `*`.
+    size_t p = 0, t = 0;
+    size_t star = std::string_view::npos;
+    size_t star_t = 0;
+    while (t < text.size()) {
+        if (p < pattern.size() && (pattern[p] == '?' || pattern[p] == text[t])) {
+            p++;
+            t++;
+        } else if (p < pattern.size() && pattern[p] == '*') {
+            star = p++;
+            star_t = t;
+        } else if (star != std::string_view::npos) {
+            p = star + 1;
+            t = ++star_t;
+        } else {
+            return false;
+        }
+    }
+    while (p < pattern.size() && pattern[p] == '*') {
+        p++;
+    }
+    return p == pattern.size();
+}
+
+std::string format_bytes(uint64_t bytes) {
+    static constexpr const char* units[] = {"B", "KB", "MB", "GB", "TB"};
+    double value = static_cast<double>(bytes);
+    size_t unit = 0;
+    while (value >= 1000.0 && unit + 1 < std::size(units)) {
+        value /= 1000.0;
+        unit++;
+    }
+    char buf[32];
+    if (unit == 0) {
+        std::snprintf(buf, sizeof buf, "%llu B", static_cast<unsigned long long>(bytes));
+    } else {
+        std::snprintf(buf, sizeof buf, "%.1f %s", value, units[unit]);
+    }
+    return buf;
+}
+
+std::string format_duration(double seconds) {
+    char buf[32];
+    if (seconds < 1e-6) {
+        std::snprintf(buf, sizeof buf, "%.1f ns", seconds * 1e9);
+    } else if (seconds < 1e-3) {
+        std::snprintf(buf, sizeof buf, "%.1f us", seconds * 1e6);
+    } else if (seconds < 1.0) {
+        std::snprintf(buf, sizeof buf, "%.1f ms", seconds * 1e3);
+    } else if (seconds < 120.0) {
+        std::snprintf(buf, sizeof buf, "%.1f s", seconds);
+    } else {
+        std::snprintf(buf, sizeof buf, "%.1f min", seconds / 60.0);
+    }
+    return buf;
+}
+
+}  // namespace kl

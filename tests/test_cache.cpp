@@ -1,0 +1,167 @@
+// Tests for the persistent tuning cache and its runner decorator:
+// append-on-measure, resume-without-rebenchmark, task scoping.
+
+#include <gtest/gtest.h>
+
+#include "tuner/cache.hpp"
+#include "tuner/session.hpp"
+#include "util/fs.hpp"
+
+namespace kl::tuner {
+namespace {
+
+using core::Config;
+using core::ConfigSpace;
+using core::ProblemSize;
+using core::Value;
+
+/// Counts real evaluations; deterministic objective.
+class CountingRunner: public Runner {
+  public:
+    EvalOutcome evaluate(const Config& config) override {
+        calls++;
+        EvalOutcome outcome;
+        outcome.overhead_seconds = 0.25;
+        int64_t x = config.at("x").as_int();
+        if (x == 7) {
+            outcome.valid = false;
+            outcome.error = "seven is unlaunchable";
+            return outcome;
+        }
+        outcome.valid = true;
+        outcome.kernel_seconds = 1e-3 * static_cast<double>((x - 3) * (x - 3) + 1);
+        outcome.average_seconds = outcome.kernel_seconds * 1.05;
+        return outcome;
+    }
+    int calls = 0;
+};
+
+ConfigSpace small_space() {
+    ConfigSpace space;
+    space.tune("x", {0, 1, 2, 3, 4, 5, 6, 7}, Value(0));
+    return space;
+}
+
+Config config_x(int x) {
+    Config config;
+    config.set("x", Value(x));
+    return config;
+}
+
+TEST(TuningCache, StoreAndLookup) {
+    std::string path = path_join(make_temp_dir("kl-cache"), "k.cache.jsonl");
+    TuningCache cache(path, "k", "gpu", ProblemSize(64));
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_FALSE(cache.lookup(config_x(1)).has_value());
+
+    EvalOutcome outcome;
+    outcome.valid = true;
+    outcome.kernel_seconds = 2.5e-3;
+    outcome.average_seconds = 2.6e-3;
+    outcome.overhead_seconds = 0.4;  // not preserved: hits are cheap
+    cache.store(config_x(1), outcome);
+
+    std::optional<EvalOutcome> hit = cache.lookup(config_x(1));
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_TRUE(hit->valid);
+    EXPECT_NEAR(hit->kernel_seconds, 2.5e-3, 1e-12);
+    EXPECT_NEAR(hit->average_seconds, 2.6e-3, 1e-12);
+    EXPECT_LT(hit->overhead_seconds, 0.01);
+}
+
+TEST(TuningCache, PersistsAcrossReopen) {
+    std::string path = path_join(make_temp_dir("kl-cache"), "k.cache.jsonl");
+    {
+        TuningCache cache(path, "k", "gpu", ProblemSize(64));
+        EvalOutcome good;
+        good.valid = true;
+        good.kernel_seconds = 1e-3;
+        good.average_seconds = 1e-3;
+        cache.store(config_x(2), good);
+        EvalOutcome bad;
+        bad.valid = false;
+        bad.error = "boom";
+        cache.store(config_x(7), bad);
+    }
+    TuningCache reopened(path, "k", "gpu", ProblemSize(64));
+    EXPECT_EQ(reopened.size(), 2u);
+    ASSERT_TRUE(reopened.lookup(config_x(2)).has_value());
+    std::optional<EvalOutcome> bad = reopened.lookup(config_x(7));
+    ASSERT_TRUE(bad.has_value());
+    EXPECT_FALSE(bad->valid);
+    EXPECT_EQ(bad->error, "boom");
+}
+
+TEST(TuningCache, RejectsForeignTask) {
+    std::string path = path_join(make_temp_dir("kl-cache"), "k.cache.jsonl");
+    TuningCache(path, "k", "gpu", ProblemSize(64));
+    EXPECT_THROW(TuningCache(path, "other", "gpu", ProblemSize(64)), Error);
+    EXPECT_THROW(TuningCache(path, "k", "gpu2", ProblemSize(64)), Error);
+    EXPECT_THROW(TuningCache(path, "k", "gpu", ProblemSize(65)), Error);
+    EXPECT_NO_THROW(TuningCache(path, "k", "gpu", ProblemSize(64)));
+}
+
+TEST(TuningCache, CorruptFileRejected) {
+    std::string path = path_join(make_temp_dir("kl-cache"), "k.cache.jsonl");
+    write_text_file(path, "not json\n");
+    EXPECT_THROW(TuningCache(path, "k", "gpu", ProblemSize(64)), Error);
+    write_text_file(path, "\n");
+    EXPECT_THROW(TuningCache(path, "k", "gpu", ProblemSize(64)), Error);
+}
+
+TEST(CachingRunner, AvoidsReEvaluation) {
+    std::string path = path_join(make_temp_dir("kl-cache"), "k.cache.jsonl");
+    TuningCache cache(path, "k", "gpu", ProblemSize(64));
+    CountingRunner inner;
+    CachingRunner runner(inner, cache);
+
+    EvalOutcome first = runner.evaluate(config_x(3));
+    EvalOutcome second = runner.evaluate(config_x(3));
+    EXPECT_EQ(inner.calls, 1);
+    EXPECT_EQ(runner.hits(), 1u);
+    EXPECT_EQ(runner.misses(), 1u);
+    EXPECT_EQ(first.kernel_seconds, second.kernel_seconds);
+    EXPECT_LT(second.overhead_seconds, first.overhead_seconds);
+}
+
+TEST(CachingRunner, ResumedSessionSkipsBenchmarkedConfigs) {
+    std::string path = path_join(make_temp_dir("kl-cache"), "k.cache.jsonl");
+    ConfigSpace space = small_space();
+
+    // First (interrupted) session: 4 evaluations.
+    {
+        TuningCache cache(path, "k", "gpu", ProblemSize(64));
+        CountingRunner inner;
+        CachingRunner runner(inner, cache);
+        SessionOptions options;
+        options.max_evals = 4;
+        options.seed = 5;
+        TuningSession session(runner, space, make_strategy("random"), options);
+        session.run();
+        EXPECT_EQ(inner.calls, 4);
+    }
+
+    // Resumed session with the same seed: the first 4 proposals hit the
+    // cache; only the remaining 4 configurations are really benchmarked.
+    {
+        TuningCache cache(path, "k", "gpu", ProblemSize(64));
+        EXPECT_EQ(cache.size(), 4u);
+        CountingRunner inner;
+        CachingRunner runner(inner, cache);
+        SessionOptions options;
+        options.max_seconds = 1e9;
+        options.seed = 5;
+        TuningSession session(runner, space, make_strategy("random"), options);
+        TuningResult result = session.run();
+        EXPECT_EQ(result.evaluations, space.cardinality());
+        EXPECT_EQ(inner.calls, 4);  // only the fresh half
+        EXPECT_EQ(runner.hits(), 4u);
+        EXPECT_TRUE(result.success);
+        EXPECT_EQ(result.best_config, config_x(3));
+        // Cached wall time is near-free: total wall well below 8 * 0.25 s.
+        EXPECT_LT(result.wall_seconds, 1.2);
+    }
+}
+
+}  // namespace
+}  // namespace kl::tuner

@@ -1,0 +1,197 @@
+// Unit tests for TunableParam, Config and ConfigSpace: the search-space
+// model underlying everything the tuner and the launcher do.
+
+#include <gtest/gtest.h>
+
+#include "core/config.hpp"
+#include "util/rng.hpp"
+
+namespace kl::core {
+namespace {
+
+ConfigSpace make_small_space() {
+    ConfigSpace space;
+    Expr bx = space.tune("bx", {16, 32, 64}, Value(32));
+    Expr by = space.tune("by", {1, 2, 4});
+    space.tune("flag", {Value(true), Value(false)}, Value(false));
+    space.restrict(bx * by <= 128);
+    return space;
+}
+
+TEST(TunableParam, JsonRoundTrip) {
+    TunableParam param;
+    param.name = "order";
+    param.values = {Value("XYZ"), Value("ZYX")};
+    param.default_value = Value("XYZ");
+    TunableParam restored = TunableParam::from_json(param.to_json());
+    EXPECT_EQ(restored.name, "order");
+    EXPECT_EQ(restored.values, param.values);
+    EXPECT_EQ(restored.default_value, param.default_value);
+}
+
+TEST(Config, SetGetContains) {
+    Config config;
+    config.set("a", Value(1));
+    EXPECT_TRUE(config.contains("a"));
+    EXPECT_FALSE(config.contains("b"));
+    EXPECT_EQ(config.at("a").as_int(), 1);
+    EXPECT_THROW(config.at("b"), Error);
+    EXPECT_EQ(config.size(), 1u);
+}
+
+TEST(Config, DigestDistinguishesValues) {
+    Config a, b, c;
+    a.set("x", Value(1));
+    b.set("x", Value(2));
+    c.set("y", Value(1));
+    EXPECT_NE(a.digest(), b.digest());
+    EXPECT_NE(a.digest(), c.digest());
+    Config a2;
+    a2.set("x", Value(1));
+    EXPECT_EQ(a.digest(), a2.digest());
+}
+
+TEST(Config, JsonRoundTripAndToString) {
+    Config config;
+    config.set("bx", Value(32));
+    config.set("unroll", Value(true));
+    config.set("order", Value("ZXY"));
+    Config restored = Config::from_json(config.to_json());
+    EXPECT_EQ(restored, config);
+    EXPECT_EQ(config.to_string(), "bx=32, order=ZXY, unroll=true");
+}
+
+TEST(ConfigSpace, TuneReturnsParamExpr) {
+    ConfigSpace space;
+    Expr bx = space.tune("bx", {1, 2});
+    Config config;
+    config.set("bx", Value(2));
+    ConfigContext ctx(config);
+    EXPECT_EQ(bx.eval(ctx).as_int(), 2);
+}
+
+TEST(ConfigSpace, RejectsBadDeclarations) {
+    ConfigSpace space;
+    space.tune("bx", {1, 2});
+    EXPECT_THROW(space.tune("bx", {3}), Error);           // duplicate
+    EXPECT_THROW(space.tune("e", {}), Error);             // empty values
+    EXPECT_THROW(space.tune("d", {1, 2}, Value(3)), Error);  // bad default
+    EXPECT_THROW(space.restrict(Expr::param("unknown") == 1), Error);
+}
+
+TEST(ConfigSpace, CardinalityAndDefault) {
+    ConfigSpace space = make_small_space();
+    EXPECT_EQ(space.cardinality(), 3u * 3u * 2u);
+    Config def = space.default_config();
+    EXPECT_EQ(def.at("bx").as_int(), 32);
+    EXPECT_EQ(def.at("by").as_int(), 1);  // first value is default
+    EXPECT_EQ(def.at("flag").as_bool(), false);
+    EXPECT_TRUE(space.is_valid(def));
+}
+
+TEST(ConfigSpace, ConfigAtIsABijection) {
+    // Property: decoding every index yields cardinality() distinct configs.
+    ConfigSpace space = make_small_space();
+    std::set<uint64_t> digests;
+    for (uint64_t i = 0; i < space.cardinality(); i++) {
+        digests.insert(space.config_at(i).digest());
+    }
+    EXPECT_EQ(digests.size(), space.cardinality());
+    EXPECT_THROW(space.config_at(space.cardinality()), Error);
+}
+
+TEST(ConfigSpace, RestrictionsFilter) {
+    ConfigSpace space = make_small_space();
+    Config bad;
+    bad.set("bx", Value(64));
+    bad.set("by", Value(4));
+    bad.set("flag", Value(true));
+    EXPECT_FALSE(space.satisfies_restrictions(bad));  // 64*4 > 128
+    EXPECT_FALSE(space.is_valid(bad));
+
+    Config good = bad;
+    good.set("by", Value(2));
+    EXPECT_TRUE(space.is_valid(good));
+}
+
+TEST(ConfigSpace, IsValidChecksMembership) {
+    ConfigSpace space = make_small_space();
+    Config config = space.default_config();
+    config.set("bx", Value(128));  // not in the value list
+    EXPECT_FALSE(space.is_valid(config));
+
+    Config missing;
+    missing.set("bx", Value(32));
+    EXPECT_FALSE(space.is_valid(missing));  // missing parameters
+
+    Config extra = space.default_config();
+    extra.set("other", Value(1));
+    EXPECT_FALSE(space.is_valid(extra));  // wrong parameter count
+}
+
+TEST(ConfigSpace, RandomConfigsAreValidProperty) {
+    ConfigSpace space = make_small_space();
+    Rng rng(5);
+    for (int i = 0; i < 300; i++) {
+        std::optional<Config> config = space.random_config(rng);
+        ASSERT_TRUE(config.has_value());
+        EXPECT_TRUE(space.is_valid(*config));
+    }
+}
+
+TEST(ConfigSpace, RandomConfigCoversSpace) {
+    ConfigSpace space = make_small_space();
+    Rng rng(6);
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 2000; i++) {
+        seen.insert(space.random_config(rng)->digest());
+    }
+    EXPECT_EQ(seen.size(), space.enumerate_valid().size());
+}
+
+TEST(ConfigSpace, ImpossibleRestrictionYieldsNullopt) {
+    ConfigSpace space;
+    Expr bx = space.tune("bx", {1, 2});
+    space.restrict(bx > 100);
+    Rng rng(7);
+    EXPECT_FALSE(space.random_config(rng, 50).has_value());
+    EXPECT_TRUE(space.enumerate_valid().empty());
+}
+
+TEST(ConfigSpace, EnumerateValidHonorsLimitAndRestrictions) {
+    ConfigSpace space = make_small_space();
+    std::vector<Config> all = space.enumerate_valid();
+    for (const Config& config : all) {
+        EXPECT_TRUE(space.is_valid(config));
+    }
+    // 64*4=256 violates; (64,4) pair excluded for both flag values -> 16.
+    EXPECT_EQ(all.size(), 16u);
+    EXPECT_EQ(space.enumerate_valid(5).size(), 5u);
+}
+
+TEST(ConfigSpace, JsonRoundTripPreservesSpace) {
+    ConfigSpace space = make_small_space();
+    ConfigSpace restored = ConfigSpace::from_json(space.to_json());
+    EXPECT_EQ(restored.cardinality(), space.cardinality());
+    EXPECT_EQ(restored.params().size(), space.params().size());
+    EXPECT_EQ(restored.restrictions().size(), space.restrictions().size());
+    EXPECT_EQ(restored.default_config(), space.default_config());
+    // Restrictions still evaluate identically.
+    for (uint64_t i = 0; i < space.cardinality(); i++) {
+        Config config = space.config_at(i);
+        EXPECT_EQ(
+            restored.satisfies_restrictions(config),
+            space.satisfies_restrictions(config));
+    }
+}
+
+TEST(ConfigSpace, AtLookup) {
+    ConfigSpace space = make_small_space();
+    EXPECT_EQ(space.at("bx").values.size(), 3u);
+    EXPECT_TRUE(space.contains("flag"));
+    EXPECT_FALSE(space.contains("nope"));
+    EXPECT_THROW(space.at("nope"), Error);
+}
+
+}  // namespace
+}  // namespace kl::core

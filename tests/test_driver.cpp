@@ -1,0 +1,209 @@
+// Tests for the cu*-style driver API shim: the CUDA vocabulary that the
+// real Kernel Launcher uses, end to end against the simulated device.
+
+#include <gtest/gtest.h>
+
+#include "cudasim/driver.hpp"
+#include "nvrtcsim/nvrtc.hpp"
+#include "nvrtcsim/registry.hpp"
+
+namespace kl::sim::driver {
+namespace {
+
+class DriverTest: public ::testing::Test {
+  protected:
+    void SetUp() override {
+        reset_driver_state_for_testing();
+        ASSERT_EQ(cuInit(0), CUDA_SUCCESS);
+    }
+    void TearDown() override {
+        reset_driver_state_for_testing();
+    }
+};
+
+TEST(DriverUninitialized, CallsFailBeforeInit) {
+    reset_driver_state_for_testing();
+    int count = 0;
+    EXPECT_EQ(cuDeviceGetCount(&count), CUDA_ERROR_NOT_INITIALIZED);
+    CUdeviceptr ptr;
+    EXPECT_EQ(cuMemAlloc(&ptr, 16), CUDA_ERROR_NOT_INITIALIZED);
+}
+
+TEST_F(DriverTest, DeviceEnumeration) {
+    int count = 0;
+    ASSERT_EQ(cuDeviceGetCount(&count), CUDA_SUCCESS);
+    EXPECT_GE(count, 4);  // built-in registry
+
+    CUdevice device;
+    ASSERT_EQ(cuDeviceGet(&device, 0), CUDA_SUCCESS);
+    EXPECT_EQ(cuDeviceGet(&device, count), CUDA_ERROR_INVALID_DEVICE);
+
+    char name[64];
+    ASSERT_EQ(cuDeviceGetName(name, sizeof name, 0), CUDA_SUCCESS);
+    EXPECT_STREQ(name, "NVIDIA A100-PCIE-40GB");
+
+    int sms = 0;
+    ASSERT_EQ(
+        cuDeviceGetAttribute(&sms, CU_DEVICE_ATTRIBUTE_MULTIPROCESSOR_COUNT, 0),
+        CUDA_SUCCESS);
+    EXPECT_EQ(sms, 108);
+    int cc_major = 0;
+    ASSERT_EQ(
+        cuDeviceGetAttribute(&cc_major, CU_DEVICE_ATTRIBUTE_COMPUTE_CAPABILITY_MAJOR, 0),
+        CUDA_SUCCESS);
+    EXPECT_EQ(cc_major, 8);
+
+    size_t total = 0;
+    ASSERT_EQ(cuDeviceTotalMem(&total, 0), CUDA_SUCCESS);
+    EXPECT_EQ(total, 40ull << 30);
+}
+
+TEST_F(DriverTest, ContextLifecycle) {
+    CUcontext before = 99;
+    ASSERT_EQ(cuCtxGetCurrent(&before), CUDA_SUCCESS);
+    EXPECT_EQ(before, 0u);
+
+    CUcontext ctx;
+    ASSERT_EQ(cuCtxCreate(&ctx, 0, 0), CUDA_SUCCESS);
+    CUcontext current;
+    ASSERT_EQ(cuCtxGetCurrent(&current), CUDA_SUCCESS);
+    EXPECT_EQ(current, ctx);
+    EXPECT_EQ(cuCtxSynchronize(), CUDA_SUCCESS);
+    EXPECT_EQ(cuCtxDestroy(ctx), CUDA_SUCCESS);
+    EXPECT_EQ(cuCtxDestroy(ctx), CUDA_ERROR_INVALID_CONTEXT);
+}
+
+TEST_F(DriverTest, MemoryRoundTripAndInfo) {
+    CUcontext ctx;
+    ASSERT_EQ(cuCtxCreate(&ctx, 0, 1), CUDA_SUCCESS);  // A4000
+
+    size_t free_before, total;
+    ASSERT_EQ(cuMemGetInfo(&free_before, &total), CUDA_SUCCESS);
+    EXPECT_EQ(free_before, total);
+
+    CUdeviceptr dev;
+    ASSERT_EQ(cuMemAlloc(&dev, 1024), CUDA_SUCCESS);
+    size_t free_after;
+    ASSERT_EQ(cuMemGetInfo(&free_after, &total), CUDA_SUCCESS);
+    EXPECT_EQ(free_before - free_after, 1024u);
+
+    std::vector<int> host {7, 8, 9}, back(3);
+    ASSERT_EQ(cuMemcpyHtoD(dev, host.data(), 12), CUDA_SUCCESS);
+    ASSERT_EQ(cuMemcpyDtoH(back.data(), dev, 12), CUDA_SUCCESS);
+    EXPECT_EQ(back, host);
+
+    CUdeviceptr dev2;
+    ASSERT_EQ(cuMemAlloc(&dev2, 12), CUDA_SUCCESS);
+    ASSERT_EQ(cuMemcpyDtoD(dev2, dev, 12), CUDA_SUCCESS);
+    ASSERT_EQ(cuMemsetD8(dev2, 0, 4), CUDA_SUCCESS);
+    ASSERT_EQ(cuMemcpyDtoH(back.data(), dev2, 12), CUDA_SUCCESS);
+    EXPECT_EQ(back[0], 0);
+    EXPECT_EQ(back[1], 8);
+
+    // Out-of-bounds copies surface as errors with messages.
+    EXPECT_EQ(cuMemcpyHtoD(dev + 1020, host.data(), 12), CUDA_ERROR_INVALID_VALUE);
+    EXPECT_NE(std::string(cuGetLastErrorMessage()).find("out of bounds"),
+              std::string::npos);
+
+    EXPECT_EQ(cuMemFree(dev), CUDA_SUCCESS);
+    EXPECT_EQ(cuMemFree(dev), CUDA_ERROR_INVALID_VALUE);
+    EXPECT_EQ(cuCtxDestroy(ctx), CUDA_SUCCESS);
+}
+
+TEST_F(DriverTest, ModuleFunctionLaunchEventFlow) {
+    // The classic driver-API sequence: context, module, function, memory,
+    // launch between events, elapsed time.
+    rtc::register_builtin_kernels();
+    CUcontext ctx;
+    ASSERT_EQ(cuCtxCreate(&ctx, 0, 0), CUDA_SUCCESS);
+
+    rtc::Program program("vector_add", rtc::builtin_kernel_source("vector_add"));
+    program.add_name_expression("vector_add<256>");
+    KernelImage image = std::move(program.compile({}).images.front());
+
+    CUmodule module;
+    ASSERT_EQ(cuModuleLoadData(&module, &image), CUDA_SUCCESS);
+    CUfunction function;
+    ASSERT_EQ(cuModuleGetFunction(&function, module, "vector_add<256>"), CUDA_SUCCESS);
+    CUfunction missing;
+    EXPECT_EQ(cuModuleGetFunction(&missing, module, "nope"), CUDA_ERROR_NOT_FOUND);
+
+    const int n = 1 << 16;
+    CUdeviceptr a, b, c;
+    ASSERT_EQ(cuMemAlloc(&a, n * 4), CUDA_SUCCESS);
+    ASSERT_EQ(cuMemAlloc(&b, n * 4), CUDA_SUCCESS);
+    ASSERT_EQ(cuMemAlloc(&c, n * 4), CUDA_SUCCESS);
+    std::vector<float> ha(n, 1.0f), hb(n, 2.0f);
+    ASSERT_EQ(cuMemcpyHtoD(a, ha.data(), n * 4), CUDA_SUCCESS);
+    ASSERT_EQ(cuMemcpyHtoD(b, hb.data(), n * 4), CUDA_SUCCESS);
+
+    CUevent start, stop;
+    ASSERT_EQ(cuEventCreate(&start, 0), CUDA_SUCCESS);
+    ASSERT_EQ(cuEventCreate(&stop, 0), CUDA_SUCCESS);
+
+    int count = n;
+    void* params[] = {&c, &a, &b, &count, nullptr};
+    ASSERT_EQ(cuEventRecord(start, 0), CUDA_SUCCESS);
+    ASSERT_EQ(
+        cuLaunchKernel(function, (n + 255) / 256, 1, 1, 256, 1, 1, 0, 0, params, nullptr),
+        CUDA_SUCCESS);
+    ASSERT_EQ(cuEventRecord(stop, 0), CUDA_SUCCESS);
+    ASSERT_EQ(cuStreamSynchronize(0), CUDA_SUCCESS);
+
+    float ms = 0;
+    ASSERT_EQ(cuEventElapsedTime(&ms, start, stop), CUDA_SUCCESS);
+    EXPECT_GT(ms, 0.0f);
+    EXPECT_LT(ms, 10.0f);
+
+    std::vector<float> out(n);
+    ASSERT_EQ(cuMemcpyDtoH(out.data(), c, n * 4), CUDA_SUCCESS);
+    EXPECT_EQ(out[n - 1], 3.0f);
+
+    // Oversized block: launch-resources failure, not a crash.
+    EXPECT_EQ(
+        cuLaunchKernel(function, 1, 1, 1, 2048, 1, 1, 0, 0, params, nullptr),
+        CUDA_ERROR_LAUNCH_OUT_OF_RESOURCES);
+
+    EXPECT_EQ(cuEventDestroy(start), CUDA_SUCCESS);
+    EXPECT_EQ(cuEventDestroy(stop), CUDA_SUCCESS);
+    EXPECT_EQ(cuModuleUnload(module), CUDA_SUCCESS);
+    EXPECT_EQ(cuModuleUnload(module), CUDA_ERROR_INVALID_HANDLE);
+    EXPECT_EQ(cuCtxDestroy(ctx), CUDA_SUCCESS);
+}
+
+TEST_F(DriverTest, StreamsAreIndependentTimelines) {
+    rtc::register_builtin_kernels();
+    CUcontext ctx;
+    ASSERT_EQ(cuCtxCreate(&ctx, 0, 0), CUDA_SUCCESS);
+
+    CUstream s1, s2;
+    ASSERT_EQ(cuStreamCreate(&s1, 0), CUDA_SUCCESS);
+    ASSERT_EQ(cuStreamCreate(&s2, 0), CUDA_SUCCESS);
+    EXPECT_NE(s1, s2);
+    EXPECT_EQ(cuStreamSynchronize(s1), CUDA_SUCCESS);
+    EXPECT_EQ(cuStreamDestroy(s1), CUDA_SUCCESS);
+    EXPECT_EQ(cuStreamDestroy(s1), CUDA_ERROR_INVALID_HANDLE);
+    EXPECT_EQ(cuStreamDestroy(0), CUDA_SUCCESS);  // default stream: no-op
+    EXPECT_EQ(cuCtxDestroy(ctx), CUDA_SUCCESS);
+}
+
+TEST_F(DriverTest, ErrorNames) {
+    const char* name = nullptr;
+    ASSERT_EQ(cuGetErrorName(CUDA_SUCCESS, &name), CUDA_SUCCESS);
+    EXPECT_STREQ(name, "CUDA_SUCCESS");
+    ASSERT_EQ(cuGetErrorName(CUDA_ERROR_LAUNCH_OUT_OF_RESOURCES, &name), CUDA_SUCCESS);
+    EXPECT_STREQ(name, "CUDA_ERROR_LAUNCH_OUT_OF_RESOURCES");
+    EXPECT_EQ(cuGetErrorName(12345, &name), CUDA_ERROR_INVALID_VALUE);
+    EXPECT_STREQ(name, "CUDA_ERROR_UNKNOWN");
+}
+
+TEST_F(DriverTest, OutOfMemorySurfacesCorrectly) {
+    CUcontext ctx;
+    ASSERT_EQ(cuCtxCreate(&ctx, 0, 1), CUDA_SUCCESS);  // A4000: 16 GB
+    CUdeviceptr big;
+    EXPECT_EQ(cuMemAlloc(&big, 64ull << 30), CUDA_ERROR_OUT_OF_MEMORY);
+    EXPECT_EQ(cuCtxDestroy(ctx), CUDA_SUCCESS);
+}
+
+}  // namespace
+}  // namespace kl::sim::driver

@@ -1,0 +1,187 @@
+// Error-path and format-stability tests: the failure modes a user hits in
+// practice (missing files, bad sources, no context, foreign configs) must
+// surface as typed, actionable errors — and the on-disk formats written by
+// this version must keep parsing.
+
+#include <gtest/gtest.h>
+
+#include "core/kernel_launcher.hpp"
+#include "nvrtcsim/registry.hpp"
+#include "util/fs.hpp"
+#include "util/strings.hpp"
+
+namespace kl::core {
+namespace {
+
+KernelBuilder vector_add_builder() {
+    rtc::register_builtin_kernels();
+    KernelBuilder builder(
+        "vector_add",
+        KernelSource::inline_source("vector_add.cu", rtc::builtin_kernel_source("vector_add")));
+    Expr block_size = builder.tune("block_size", {32, 64});
+    builder.problem_size(arg3).template_args(block_size).block_size(block_size);
+    return builder;
+}
+
+TEST(ErrorPaths, LaunchWithoutContextIsCudaError) {
+    ASSERT_EQ(sim::Context::current_or_null(), nullptr);
+    WisdomKernel kernel(vector_add_builder(), WisdomSettings());
+    std::vector<KernelArg> args = {
+        KernelArg::buffer(1, ScalarType::F32, 1),
+        KernelArg::buffer(2, ScalarType::F32, 1),
+        KernelArg::buffer(3, ScalarType::F32, 1),
+        KernelArg::scalar<int32_t>(8),
+    };
+    EXPECT_THROW(kernel.launch_args(args), CudaError);
+}
+
+TEST(ErrorPaths, MissingSourceFileIsIoErrorAtCompileTime) {
+    auto context = sim::Context::create("NVIDIA RTX A4000");
+    KernelBuilder builder("vector_add", KernelSource("/nonexistent/vector_add.cu"));
+    Expr bs = builder.tune("block_size", {32});
+    builder.problem_size(arg3).template_args(bs).block_size(bs);
+    WisdomKernel kernel(builder, WisdomSettings().wisdom_dir(make_temp_dir("kl-err")));
+    std::vector<KernelArg> args = {
+        KernelArg::buffer(1, ScalarType::F32, 1),
+        KernelArg::buffer(2, ScalarType::F32, 1),
+        KernelArg::buffer(3, ScalarType::F32, 1),
+        KernelArg::scalar<int32_t>(8),
+    };
+    EXPECT_THROW(kernel.launch_args(args), IoError);
+}
+
+TEST(ErrorPaths, BrokenSourcePropagatesCompileErrorWithLog) {
+    auto context = sim::Context::create("NVIDIA RTX A4000");
+    KernelBuilder builder(
+        "vector_add",
+        KernelSource::inline_source("broken.cu", "__global__ void vector_add() { {"));
+    Expr bs = builder.tune("block_size", {32});
+    builder.problem_size(arg3).template_args(bs).block_size(bs);
+    WisdomKernel kernel(builder, WisdomSettings().wisdom_dir(make_temp_dir("kl-err")));
+    std::vector<KernelArg> args = {
+        KernelArg::buffer(1, ScalarType::F32, 1),
+        KernelArg::buffer(2, ScalarType::F32, 1),
+        KernelArg::buffer(3, ScalarType::F32, 1),
+        KernelArg::scalar<int32_t>(8),
+    };
+    try {
+        kernel.launch_args(args);
+        FAIL() << "expected CompileError";
+    } catch (const CompileError& e) {
+        EXPECT_NE(e.log().find("unbalanced braces"), std::string::npos) << e.log();
+    }
+}
+
+TEST(ErrorPaths, CorruptWisdomFileIsJsonError) {
+    auto context = sim::Context::create("NVIDIA RTX A4000");
+    std::string dir = make_temp_dir("kl-err");
+    write_text_file(path_join(dir, "vector_add.wisdom.json"), "{ not json");
+    WisdomKernel kernel(vector_add_builder(), WisdomSettings().wisdom_dir(dir));
+    std::vector<KernelArg> args = {
+        KernelArg::buffer(1, ScalarType::F32, 1),
+        KernelArg::buffer(2, ScalarType::F32, 1),
+        KernelArg::buffer(3, ScalarType::F32, 1),
+        KernelArg::scalar<int32_t>(8),
+    };
+    EXPECT_THROW(kernel.launch_args(args), kl::JsonError);
+}
+
+TEST(ErrorPaths, WisdomRecordWithForeignConfigFailsAtCompile) {
+    // A wisdom record whose configuration is not in the space (e.g. the
+    // kernel's value list changed since tuning) must fail loudly rather
+    // than silently launching something else.
+    auto context = sim::Context::create("NVIDIA RTX A4000");
+    std::string dir = make_temp_dir("kl-err");
+    {
+        WisdomFile wisdom("vector_add");
+        WisdomRecord record;
+        record.problem_size = ProblemSize(8);
+        record.device_name = context->device().name;
+        record.device_architecture = "Ampere";
+        Config config;
+        config.set("block_size", Value(1024));  // no longer in the space
+        record.config = config;
+        record.time_seconds = 1e-3;
+        wisdom.add(record);
+        wisdom.save(path_join(dir, "vector_add.wisdom.json"));
+    }
+    WisdomKernel kernel(vector_add_builder(), WisdomSettings().wisdom_dir(dir));
+    std::vector<KernelArg> args = {
+        KernelArg::buffer(1, ScalarType::F32, 1),
+        KernelArg::buffer(2, ScalarType::F32, 1),
+        KernelArg::buffer(3, ScalarType::F32, 1),
+        KernelArg::scalar<int32_t>(8),
+    };
+    EXPECT_THROW(kernel.launch_args(args), Error);
+}
+
+TEST(ErrorPaths, MissingCapturePayloadFileIsIoError) {
+    auto context = sim::Context::create("NVIDIA RTX A4000");
+    std::string dir = make_temp_dir("kl-err");
+    const int n = 16;
+    DeviceArray<float> c(static_cast<size_t>(n)), a(static_cast<size_t>(n)),
+        b(static_cast<size_t>(n));
+    std::vector<KernelArg> args = into_args(c, a, b, n);
+    CaptureInfo info =
+        write_capture(dir, vector_add_builder().build(), args, ProblemSize(n), *context);
+    // Delete one payload.
+    for (const std::string& file : list_directory(dir)) {
+        if (ends_with(file, ".arg1.bin")) {
+            remove_file(file);
+        }
+    }
+    EXPECT_THROW(read_capture(info.json_path), IoError);
+    // Metadata-only read still works.
+    EXPECT_NO_THROW(read_capture(info.json_path, /*load_payloads=*/false));
+}
+
+// --- format stability ---------------------------------------------------------
+
+TEST(FormatStability, Version1WisdomFileStillParses) {
+    // A frozen v1.0 wisdom file (as written by this library) must keep
+    // loading in future versions; this is the compatibility contract.
+    const char* kFrozen = R"json({
+      "kernel": "advec_u_float",
+      "version": "1.0",
+      "records": [
+        {
+          "config": {"BLOCK_SIZE_X": 32, "UNROLL_X": true, "UNRAVEL_ORDER": "ZXY"},
+          "device": {"architecture": "Ampere", "name": "NVIDIA A100-PCIE-40GB"},
+          "problem_size": [256, 256, 256],
+          "provenance": {"date": "2026-07-07T00:00:00Z", "strategy": "bayes"},
+          "time_ms": 0.1594
+        }
+      ]
+    })json";
+    WisdomFile wisdom = WisdomFile::from_json(json::parse(kFrozen));
+    ASSERT_EQ(wisdom.records().size(), 1u);
+    const WisdomRecord& r = wisdom.records()[0];
+    EXPECT_EQ(r.problem_size, ProblemSize(256, 256, 256));
+    EXPECT_EQ(r.config.at("BLOCK_SIZE_X").as_int(), 32);
+    EXPECT_EQ(r.config.at("UNROLL_X").as_bool(), true);
+    EXPECT_EQ(r.config.at("UNRAVEL_ORDER").as_string(), "ZXY");
+    EXPECT_NEAR(r.time_seconds, 0.1594e-3, 1e-12);
+
+    auto selection =
+        wisdom.select("NVIDIA A100-PCIE-40GB", "Ampere", ProblemSize(256, 256, 256));
+    EXPECT_EQ(selection.match, WisdomMatch::Exact);
+}
+
+TEST(FormatStability, MissingOptionalFieldsTolerated) {
+    // Readers must tolerate records without provenance or architecture.
+    const char* kMinimal = R"json({
+      "kernel": "k", "version": "1.0",
+      "records": [{
+        "config": {"p": 1},
+        "device": {"name": "gpu"},
+        "problem_size": [64],
+        "time_ms": 1.0
+      }]
+    })json";
+    WisdomFile wisdom = WisdomFile::from_json(json::parse(kMinimal));
+    EXPECT_EQ(wisdom.records()[0].device_architecture, "");
+    EXPECT_TRUE(wisdom.records()[0].provenance.is_null());
+}
+
+}  // namespace
+}  // namespace kl::core

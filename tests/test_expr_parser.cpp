@@ -1,0 +1,210 @@
+// Tests for the expression parser and the #pragma kernel_launcher
+// annotation loader.
+
+#include <gtest/gtest.h>
+
+#include "core/expr_parser.hpp"
+#include "core/pragma.hpp"
+#include "cudasim/context.hpp"
+#include "core/device_buffer.hpp"
+#include "core/wisdom_kernel.hpp"
+#include "nvrtcsim/registry.hpp"
+#include "util/fs.hpp"
+
+namespace kl::core {
+namespace {
+
+/// Fixed context: params bx=32, unroll=true, order="ZXY"; arg3=1000;
+/// problem (256,128,64).
+class FixedContext: public EvalContext {
+  public:
+    std::optional<Value> param(const std::string& name) const override {
+        if (name == "bx") {
+            return Value(32);
+        }
+        if (name == "unroll") {
+            return Value(true);
+        }
+        if (name == "order") {
+            return Value("ZXY");
+        }
+        return std::nullopt;
+    }
+    std::optional<Value> argument(size_t index) const override {
+        return index == 3 ? std::optional<Value>(Value(1000)) : std::nullopt;
+    }
+    std::optional<Value> problem_size(size_t axis) const override {
+        return Value(static_cast<int64_t>(256 >> axis));
+    }
+};
+
+Value eval(const char* text) {
+    return parse_expr(text).eval(FixedContext());
+}
+
+TEST(ExprParser, Literals) {
+    EXPECT_EQ(eval("42").as_int(), 42);
+    EXPECT_DOUBLE_EQ(eval("2.5").as_double(), 2.5);
+    EXPECT_DOUBLE_EQ(eval("1e3").as_double(), 1000.0);
+    EXPECT_EQ(eval("true").as_bool(), true);
+    EXPECT_EQ(eval("false").as_bool(), false);
+    EXPECT_EQ(eval("\"XYZ\"").as_string(), "XYZ");
+    EXPECT_EQ(eval("'ZYX'").as_string(), "ZYX");
+}
+
+TEST(ExprParser, References) {
+    EXPECT_EQ(eval("bx").as_int(), 32);
+    EXPECT_EQ(eval("arg3").as_int(), 1000);
+    EXPECT_EQ(eval("problem_size_x").as_int(), 256);
+    EXPECT_EQ(eval("problem_y").as_int(), 128);
+    EXPECT_EQ(eval("problem_size_z").as_int(), 64);
+}
+
+TEST(ExprParser, ArithmeticAndPrecedence) {
+    EXPECT_EQ(eval("1 + 2 * 3").as_int(), 7);
+    EXPECT_EQ(eval("(1 + 2) * 3").as_int(), 9);
+    EXPECT_EQ(eval("10 / 3").as_int(), 3);
+    EXPECT_EQ(eval("10 % 3").as_int(), 1);
+    EXPECT_EQ(eval("-bx + 2").as_int(), -30);
+    EXPECT_EQ(eval("2 - 3 - 4").as_int(), -5);  // left associative
+    EXPECT_EQ(eval("bx * 2 + bx / 2").as_int(), 80);
+}
+
+TEST(ExprParser, ComparisonsAndLogic) {
+    EXPECT_TRUE(eval("bx == 32").truthy());
+    EXPECT_TRUE(eval("bx != 31").truthy());
+    EXPECT_TRUE(eval("bx >= 32 && bx < 64").truthy());
+    EXPECT_TRUE(eval("bx > 100 || unroll").truthy());
+    EXPECT_TRUE(eval("!(bx > 100)").truthy());
+    EXPECT_TRUE(eval("order == 'ZXY'").truthy());
+    // Precedence: comparison binds tighter than &&, which binds tighter
+    // than ||.
+    EXPECT_TRUE(eval("1 == 2 || 3 < 4 && 5 < 6").truthy());
+}
+
+TEST(ExprParser, TernaryAndFunctions) {
+    EXPECT_EQ(eval("unroll ? 10 : 20").as_int(), 10);
+    EXPECT_EQ(eval("bx > 100 ? 10 : 20").as_int(), 20);
+    EXPECT_EQ(eval("bx > 0 ? bx > 33 ? 1 : 2 : 3").as_int(), 2);  // nested
+    EXPECT_EQ(eval("div_ceil(problem_size_x, bx)").as_int(), 8);
+    EXPECT_EQ(eval("min(bx, 5)").as_int(), 5);
+    EXPECT_EQ(eval("max(bx, 5)").as_int(), 32);
+    EXPECT_EQ(eval("div_ceil(arg3, bx * 2)").as_int(), 16);
+}
+
+TEST(ExprParser, MalformedInputsThrow) {
+    for (const char* bad :
+         {"", "1 +", "(1", "1)", "min(1)", "frob(1, 2)", "1 ? 2", "a b", "'open",
+          "@", "? 1 : 2", "div_ceil(1,2,3)"}) {
+        EXPECT_THROW(parse_expr(bad), Error) << bad;
+    }
+}
+
+TEST(ExprParser, RoundTripsThroughJson) {
+    FixedContext ctx;
+    for (const char* text :
+         {"div_ceil(problem_size_x, bx * 2)", "unroll ? bx : 256",
+          "bx * bx <= 1024 && order != 'XYZ'"}) {
+        Expr parsed = parse_expr(text);
+        Expr restored = Expr::from_json(parsed.to_json());
+        EXPECT_EQ(restored.eval(ctx), parsed.eval(ctx)) << text;
+    }
+}
+
+// --- pragma annotations -----------------------------------------------------
+
+const char* kAnnotatedSource = R"cuda(
+// Tunable vector addition with embedded tuning specification.
+#pragma kernel_launcher tune block_size(32, 64, 128, 256) default(128)
+#pragma kernel_launcher tune items_per_thread(1, 2, 4)
+#pragma kernel_launcher restriction(block_size * items_per_thread <= 1024)
+#pragma kernel_launcher problem_size(arg3)
+#pragma kernel_launcher block_size(block_size)
+#pragma kernel_launcher grid_divisors(block_size * items_per_thread)
+#pragma kernel_launcher template_arg(block_size)
+#pragma kernel_launcher define(N_HINT, problem_size_x)
+#pragma kernel_launcher tuning_key(vector_add_annotated)
+#pragma kernel_launcher output(0)
+template <int block_size>
+__global__ void vector_add(float *c, float *a, float *b, int n) {
+    int i = blockIdx.x * block_size + threadIdx.x;
+    if (i < n) { c[i] = a[i] + b[i]; }
+}
+)cuda";
+
+TEST(Pragma, ExtractLines) {
+    std::vector<std::string> lines = extract_pragma_lines(kAnnotatedSource);
+    ASSERT_EQ(lines.size(), 10u);
+    EXPECT_EQ(lines[0], "tune block_size(32, 64, 128, 256) default(128)");
+    EXPECT_EQ(lines[3], "problem_size(arg3)");
+}
+
+TEST(Pragma, BuildsEquivalentDefinition) {
+    KernelDef def = builder_from_annotated_source(
+                        "vector_add",
+                        KernelSource::inline_source("vector_add.cu", kAnnotatedSource))
+                        .build();
+    EXPECT_EQ(def.name, "vector_add");
+    EXPECT_EQ(def.key(), "vector_add_annotated");
+    EXPECT_EQ(def.space.cardinality(), 12u);
+    EXPECT_EQ(def.space.restrictions().size(), 1u);
+    EXPECT_EQ(def.space.default_config().at("block_size").as_int(), 128);
+    EXPECT_EQ(def.space.default_config().at("items_per_thread").as_int(), 1);
+    EXPECT_TRUE(def.has_grid_divisors);
+    EXPECT_EQ(def.template_args.size(), 1u);
+    EXPECT_EQ(def.defines.size(), 1u);
+    EXPECT_TRUE(def.is_output_arg(0));
+
+    // Geometry: n=1000, block 128, items 2 -> grid ceil(1000/256)=4.
+    Config config = def.space.default_config();
+    config.set("items_per_thread", Value(2));
+    std::vector<KernelArg> args = {
+        KernelArg::buffer(1, ScalarType::F32, 1),
+        KernelArg::buffer(2, ScalarType::F32, 1),
+        KernelArg::buffer(3, ScalarType::F32, 1),
+        KernelArg::scalar<int32_t>(1000),
+    };
+    KernelDef::Geometry geom = def.eval_geometry(config, args);
+    EXPECT_EQ(geom.block, sim::Dim3(128));
+    EXPECT_EQ(geom.grid, sim::Dim3(4));
+}
+
+TEST(Pragma, AnnotatedKernelRunsEndToEnd) {
+    rtc::register_builtin_kernels();
+    auto context = sim::Context::create("NVIDIA RTX A4000");
+    // The annotated source still contains the real vector_add kernel, so
+    // the registered implementation picks it up (items_per_thread has no
+    // functional meaning for the builtin impl; geometry stays compatible
+    // only for items_per_thread=1, the default).
+    KernelBuilder builder = builder_from_annotated_source(
+        "vector_add", KernelSource::inline_source("vector_add.cu", kAnnotatedSource));
+    WisdomKernel kernel(
+        builder, WisdomSettings().wisdom_dir(make_temp_dir("kl-pragma")));
+
+    const int n = 640;
+    std::vector<float> ha(n, 2.0f), hb(n, 3.0f);
+    DeviceArray<float> c(static_cast<size_t>(n)), a(ha), b(hb);
+    kernel.launch(c, a, b, n);
+    std::vector<float> out = c.copy_to_host();
+    EXPECT_EQ(out[n - 1], 5.0f);
+    EXPECT_EQ(context->last_launch().block, sim::Dim3(128));
+}
+
+TEST(Pragma, Diagnostics) {
+    auto build = [](const std::string& body) {
+        return builder_from_annotated_source(
+            "k", KernelSource::inline_source("k.cu", body + "\n__global__ void k() {}"));
+    };
+    EXPECT_THROW(build(""), DefinitionError);  // no annotations at all
+    EXPECT_THROW(build("#pragma kernel_launcher tune"), DefinitionError);
+    EXPECT_THROW(build("#pragma kernel_launcher tune p()"), DefinitionError);
+    EXPECT_THROW(build("#pragma kernel_launcher tune p(1) default[2]"), DefinitionError);
+    EXPECT_THROW(build("#pragma kernel_launcher tune p(bx + 1)"), DefinitionError);
+    EXPECT_THROW(build("#pragma kernel_launcher frobnicate(1)"), DefinitionError);
+    EXPECT_THROW(build("#pragma kernel_launcher restriction(1 +"), DefinitionError);
+    EXPECT_THROW(build("#pragma kernel_launcher problem_size(1, 2, 3, 4)"), DefinitionError);
+    EXPECT_THROW(build("#pragma kernel_launcher define(ONLY_NAME)"), DefinitionError);
+}
+
+}  // namespace
+}  // namespace kl::core

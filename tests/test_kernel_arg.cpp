@@ -1,0 +1,129 @@
+// Unit tests for KernelArg (type-erased kernel arguments), the argument
+// traits, and DeviceArray's RAII/copy behavior.
+
+#include <gtest/gtest.h>
+
+#include "core/device_buffer.hpp"
+#include "core/kernel_arg.hpp"
+#include "cudasim/context.hpp"
+
+namespace kl::core {
+namespace {
+
+TEST(ScalarTypeMeta, SizesAndNames) {
+    EXPECT_EQ(scalar_size(ScalarType::I8), 1u);
+    EXPECT_EQ(scalar_size(ScalarType::I32), 4u);
+    EXPECT_EQ(scalar_size(ScalarType::U32), 4u);
+    EXPECT_EQ(scalar_size(ScalarType::F32), 4u);
+    EXPECT_EQ(scalar_size(ScalarType::I64), 8u);
+    EXPECT_EQ(scalar_size(ScalarType::U64), 8u);
+    EXPECT_EQ(scalar_size(ScalarType::F64), 8u);
+    EXPECT_STREQ(scalar_name(ScalarType::F32), "f32");
+    EXPECT_EQ(scalar_from_name("f64").value(), ScalarType::F64);
+    EXPECT_EQ(scalar_from_name("i8").value(), ScalarType::I8);
+    EXPECT_FALSE(scalar_from_name("quaternion").has_value());
+    // Round trip across all types.
+    for (ScalarType t :
+         {ScalarType::I8, ScalarType::I32, ScalarType::I64, ScalarType::U32,
+          ScalarType::U64, ScalarType::F32, ScalarType::F64}) {
+        EXPECT_EQ(scalar_from_name(scalar_name(t)).value(), t);
+    }
+}
+
+TEST(KernelArg, ScalarStorageAndSlot) {
+    KernelArg arg = KernelArg::scalar<int32_t>(-42);
+    EXPECT_TRUE(arg.is_scalar());
+    EXPECT_FALSE(arg.is_buffer());
+    EXPECT_EQ(arg.type(), ScalarType::I32);
+    EXPECT_EQ(arg.count(), 1u);
+    EXPECT_EQ(arg.byte_size(), 4u);
+    EXPECT_EQ(arg.scalar_value<int32_t>(), -42);
+    // The slot points at the value, as cuLaunchKernel expects.
+    EXPECT_EQ(*static_cast<const int32_t*>(arg.slot()), -42);
+    EXPECT_THROW(arg.device_ptr(), Error);
+}
+
+TEST(KernelArg, ScalarToValueConversions) {
+    EXPECT_EQ(KernelArg::scalar<int8_t>(-5).to_value()->to_int(), -5);
+    EXPECT_EQ(KernelArg::scalar<int32_t>(7).to_value()->to_int(), 7);
+    EXPECT_EQ(KernelArg::scalar<int64_t>(1ll << 40).to_value()->to_int(), 1ll << 40);
+    EXPECT_EQ(KernelArg::scalar<uint32_t>(4000000000u).to_value()->to_int(), 4000000000ll);
+    EXPECT_EQ(KernelArg::scalar<uint64_t>(123ull).to_value()->to_int(), 123);
+    EXPECT_DOUBLE_EQ(KernelArg::scalar(1.5f).to_value()->to_double(), 1.5);
+    EXPECT_DOUBLE_EQ(KernelArg::scalar(2.25).to_value()->to_double(), 2.25);
+}
+
+TEST(KernelArg, BufferMetadata) {
+    KernelArg arg = KernelArg::buffer(0xABCDE, ScalarType::F64, 100);
+    EXPECT_TRUE(arg.is_buffer());
+    EXPECT_EQ(arg.count(), 100u);
+    EXPECT_EQ(arg.byte_size(), 800u);
+    EXPECT_EQ(arg.device_ptr(), 0xABCDEu);
+    EXPECT_FALSE(arg.to_value().has_value());
+    // The slot points at the stored device pointer.
+    EXPECT_EQ(*static_cast<const sim::DevicePtr*>(arg.slot()), 0xABCDEu);
+}
+
+TEST(KernelArg, Describe) {
+    json::Value scalar = KernelArg::scalar<int32_t>(9).describe();
+    EXPECT_EQ(scalar["kind"].as_string(), "scalar");
+    EXPECT_EQ(scalar["type"].as_string(), "i32");
+    EXPECT_EQ(scalar["value"].as_int(), 9);
+
+    json::Value buffer = KernelArg::buffer(1, ScalarType::F32, 64).describe();
+    EXPECT_EQ(buffer["kind"].as_string(), "buffer");
+    EXPECT_EQ(buffer["count"].as_int(), 64);
+    EXPECT_FALSE(buffer.contains("value"));
+}
+
+TEST(KernelArg, IntoArgsMixedPack) {
+    auto context = sim::Context::create("NVIDIA RTX A4000");
+    DeviceArray<double> buf(16);
+    std::vector<KernelArg> args = into_args(buf, 3, 2.5f, uint64_t {7});
+    ASSERT_EQ(args.size(), 4u);
+    EXPECT_TRUE(args[0].is_buffer());
+    EXPECT_EQ(args[0].type(), ScalarType::F64);
+    EXPECT_EQ(args[0].count(), 16u);
+    EXPECT_EQ(args[1].type(), ScalarType::I32);
+    EXPECT_EQ(args[2].type(), ScalarType::F32);
+    EXPECT_EQ(args[3].type(), ScalarType::U64);
+}
+
+TEST(DeviceArray, RaiiFreesAllocation) {
+    auto context = sim::Context::create("NVIDIA RTX A4000");
+    {
+        DeviceArray<float> a(1000);
+        EXPECT_EQ(context->memory().bytes_in_use(), 4000u);
+    }
+    EXPECT_EQ(context->memory().bytes_in_use(), 0u);
+}
+
+TEST(DeviceArray, MoveTransfersOwnership) {
+    auto context = sim::Context::create("NVIDIA RTX A4000");
+    DeviceArray<float> a(100);
+    sim::DevicePtr ptr = a.ptr();
+    DeviceArray<float> b = std::move(a);
+    EXPECT_EQ(b.ptr(), ptr);
+    EXPECT_EQ(a.ptr(), 0u);
+    EXPECT_EQ(context->memory().bytes_in_use(), 400u);
+
+    DeviceArray<float> c(50);
+    c = std::move(b);
+    EXPECT_EQ(c.ptr(), ptr);
+    EXPECT_EQ(context->memory().bytes_in_use(), 400u);  // the 50-float one freed
+}
+
+TEST(DeviceArray, HostRoundTripAndSizeChecks) {
+    auto context = sim::Context::create("NVIDIA RTX A4000");
+    std::vector<int32_t> host {1, 2, 3};
+    DeviceArray<int32_t> dev(host);
+    EXPECT_EQ(dev.size(), 3u);
+    EXPECT_EQ(dev.copy_to_host(), host);
+    std::vector<int32_t> wrong(4);
+    EXPECT_THROW(dev.copy_from_host(wrong), Error);
+    dev.fill_zero();
+    EXPECT_EQ(dev.copy_to_host(), (std::vector<int32_t> {0, 0, 0}));
+}
+
+}  // namespace
+}  // namespace kl::core

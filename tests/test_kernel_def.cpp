@@ -1,0 +1,241 @@
+// Unit tests for KernelSource, KernelBuilder/KernelDef (launch geometry,
+// serialization) and the KernelCompiler pipeline.
+
+#include <gtest/gtest.h>
+
+#include "core/kernel_def.hpp"
+#include "cudasim/context.hpp"
+#include "nvrtcsim/registry.hpp"
+#include "util/errors.hpp"
+#include "util/fs.hpp"
+
+namespace kl::core {
+namespace {
+
+KernelBuilder vector_add_builder() {
+    rtc::register_builtin_kernels();
+    KernelBuilder builder(
+        "vector_add",
+        KernelSource::inline_source("vector_add.cu", rtc::builtin_kernel_source("vector_add")));
+    Expr block_size = builder.tune("block_size", {32, 64, 128, 256});
+    builder.problem_size(arg3).template_args(block_size).block_size(block_size);
+    return builder;
+}
+
+TEST(KernelSource, InlineAndFileBacked) {
+    KernelSource inline_src = KernelSource::inline_source("k.cu", "__global__ x");
+    EXPECT_TRUE(inline_src.is_inline());
+    EXPECT_EQ(inline_src.read(), "__global__ x");
+    EXPECT_EQ(inline_src.file_name(), "k.cu");
+
+    std::string dir = make_temp_dir("kl-src");
+    std::string path = path_join(dir, "real.cu");
+    write_text_file(path, "__global__ void k() {}");
+    KernelSource file_src(path);
+    EXPECT_FALSE(file_src.is_inline());
+    EXPECT_EQ(file_src.read(), "__global__ void k() {}");
+
+    KernelSource missing("/nonexistent/k.cu");
+    EXPECT_THROW(missing.read(), IoError);
+}
+
+TEST(KernelSource, JsonEmbedsContent) {
+    std::string dir = make_temp_dir("kl-src");
+    std::string path = path_join(dir, "k.cu");
+    write_text_file(path, "content");
+    KernelSource src(path);
+    json::Value j = src.to_json();
+    // Deleting the file must not break the deserialized copy.
+    remove_file(path);
+    KernelSource restored = KernelSource::from_json(j);
+    EXPECT_EQ(restored.read(), "content");
+}
+
+TEST(KernelBuilder, RejectsEmptyNameAndDuplicates) {
+    EXPECT_THROW(KernelBuilder("", KernelSource("x.cu")), DefinitionError);
+    KernelBuilder builder("k", KernelSource("x.cu"));
+    builder.define("A", Expr(1));
+    EXPECT_THROW(builder.define("A", Expr(2)), DefinitionError);
+}
+
+TEST(KernelDef, ProblemSizeFromScalarArg) {
+    KernelDef def = vector_add_builder().build();
+    std::vector<KernelArg> args = {
+        KernelArg::buffer(1000, ScalarType::F32, 10),
+        KernelArg::buffer(2000, ScalarType::F32, 10),
+        KernelArg::buffer(3000, ScalarType::F32, 10),
+        KernelArg::scalar<int32_t>(999),
+    };
+    EXPECT_EQ(def.eval_problem_size(args), ProblemSize(999));
+}
+
+TEST(KernelDef, ProblemSizeFromBufferArgFails) {
+    KernelDef def = vector_add_builder().build();
+    std::vector<KernelArg> args(4, KernelArg::buffer(1000, ScalarType::F32, 10));
+    EXPECT_THROW(def.eval_problem_size(args), Error);
+}
+
+TEST(KernelDef, NonPositiveProblemSizeFails) {
+    KernelDef def = vector_add_builder().build();
+    std::vector<KernelArg> args = {
+        KernelArg::buffer(1000, ScalarType::F32, 10),
+        KernelArg::buffer(2000, ScalarType::F32, 10),
+        KernelArg::buffer(3000, ScalarType::F32, 10),
+        KernelArg::scalar<int32_t>(0),
+    };
+    EXPECT_THROW(def.eval_problem_size(args), Error);
+}
+
+TEST(KernelDef, DefaultGridIsProblemOverBlock) {
+    KernelDef def = vector_add_builder().build();
+    Config config = def.space.default_config();  // block_size = 32
+    std::vector<KernelArg> args = {
+        KernelArg::buffer(1000, ScalarType::F32, 100),
+        KernelArg::buffer(2000, ScalarType::F32, 100),
+        KernelArg::buffer(3000, ScalarType::F32, 100),
+        KernelArg::scalar<int32_t>(100),
+    };
+    KernelDef::Geometry geom = def.eval_geometry(config, args);
+    EXPECT_EQ(geom.block, sim::Dim3(32));
+    EXPECT_EQ(geom.grid, sim::Dim3(4));  // ceil(100/32)
+    EXPECT_EQ(geom.shared_mem_bytes, 0u);
+}
+
+TEST(KernelDef, GridDivisorsOverrideBlock) {
+    KernelBuilder builder = vector_add_builder();
+    builder.grid_divisors(Expr::param("block_size") * 4);
+    KernelDef def = builder.build();
+    Config config = def.space.default_config();
+    std::vector<KernelArg> args = {
+        KernelArg::buffer(1, ScalarType::F32, 1),
+        KernelArg::buffer(2, ScalarType::F32, 1),
+        KernelArg::buffer(3, ScalarType::F32, 1),
+        KernelArg::scalar<int32_t>(1000),
+    };
+    // ceil(1000 / (32*4)) = 8
+    EXPECT_EQ(def.eval_geometry(config, args).grid, sim::Dim3(8));
+}
+
+TEST(KernelDef, ExplicitGridSizeWins) {
+    KernelBuilder builder = vector_add_builder();
+    builder.grid_size(Expr(7), Expr(3), Expr(2));
+    KernelDef def = builder.build();
+    std::vector<KernelArg> args = {
+        KernelArg::buffer(1, ScalarType::F32, 1),
+        KernelArg::buffer(2, ScalarType::F32, 1),
+        KernelArg::buffer(3, ScalarType::F32, 1),
+        KernelArg::scalar<int32_t>(1000),
+    };
+    EXPECT_EQ(
+        def.eval_geometry(def.space.default_config(), args).grid, sim::Dim3(7, 3, 2));
+}
+
+TEST(KernelDef, SharedMemoryExpression) {
+    KernelBuilder builder = vector_add_builder();
+    builder.shared_memory(Expr::param("block_size") * 8);
+    KernelDef def = builder.build();
+    std::vector<KernelArg> args = {
+        KernelArg::buffer(1, ScalarType::F32, 1),
+        KernelArg::buffer(2, ScalarType::F32, 1),
+        KernelArg::buffer(3, ScalarType::F32, 1),
+        KernelArg::scalar<int32_t>(64),
+    };
+    EXPECT_EQ(
+        def.eval_geometry(def.space.default_config(), args).shared_mem_bytes, 256u);
+}
+
+TEST(KernelDef, TuningKeyDefaultsToName) {
+    KernelDef def = vector_add_builder().build();
+    EXPECT_EQ(def.key(), "vector_add");
+    KernelBuilder builder = vector_add_builder();
+    builder.tuning_key("vector_add_v2");
+    EXPECT_EQ(builder.build().key(), "vector_add_v2");
+}
+
+TEST(KernelDef, OutputArgsDeduplicated) {
+    KernelBuilder builder = vector_add_builder();
+    builder.output_arg(0).output_arg(0).output_arg(2);
+    KernelDef def = builder.build();
+    EXPECT_EQ(def.output_args.size(), 2u);
+    EXPECT_TRUE(def.is_output_arg(0));
+    EXPECT_FALSE(def.is_output_arg(1));
+    EXPECT_TRUE(def.is_output_arg(2));
+}
+
+TEST(KernelDef, JsonRoundTripPreservesEverything) {
+    KernelBuilder builder = vector_add_builder();
+    builder.tuning_key("va_float")
+        .restriction(Expr::param("block_size") >= 32)
+        .grid_divisors(Expr::param("block_size") * 2)
+        .shared_memory(Expr(128))
+        .define("EXTRA", Expr::param("block_size") + 1)
+        .compiler_flag("--use_fast_math")
+        .output_arg(0);
+    KernelDef def = builder.build();
+    KernelDef restored = KernelDef::from_json(def.to_json());
+
+    EXPECT_EQ(restored.name, def.name);
+    EXPECT_EQ(restored.key(), "va_float");
+    EXPECT_EQ(restored.space.cardinality(), def.space.cardinality());
+    EXPECT_EQ(restored.space.restrictions().size(), 1u);
+    EXPECT_TRUE(restored.has_grid_divisors);
+    EXPECT_FALSE(restored.has_explicit_grid);
+    EXPECT_EQ(restored.defines.size(), 1u);
+    EXPECT_EQ(restored.compiler_flags, def.compiler_flags);
+    EXPECT_EQ(restored.output_args, def.output_args);
+
+    // Geometry must evaluate identically.
+    std::vector<KernelArg> args = {
+        KernelArg::buffer(1, ScalarType::F32, 1),
+        KernelArg::buffer(2, ScalarType::F32, 1),
+        KernelArg::buffer(3, ScalarType::F32, 1),
+        KernelArg::scalar<int32_t>(500),
+    };
+    Config config = def.space.default_config();
+    KernelDef::Geometry a = def.eval_geometry(config, args);
+    KernelDef::Geometry b = restored.eval_geometry(config, args);
+    EXPECT_EQ(a.grid, b.grid);
+    EXPECT_EQ(a.block, b.block);
+    EXPECT_EQ(a.shared_mem_bytes, b.shared_mem_bytes);
+}
+
+// --- KernelCompiler ------------------------------------------------------------
+
+TEST(KernelCompiler, CompilesWithAutoParamDefines) {
+    KernelBuilder builder = vector_add_builder();
+    builder.define("N_HINT", problem_x);
+    KernelDef def = builder.build();
+    Config config = def.space.default_config();
+    const sim::DeviceProperties& device =
+        sim::DeviceRegistry::global().by_name("NVIDIA RTX A4000");
+    ProblemSize problem(4096);
+    KernelCompiler::Output out = KernelCompiler::compile(def, config, device, &problem);
+    EXPECT_EQ(out.image.lowered_name, "vector_add<32>");
+    EXPECT_EQ(out.image.arch, "compute_86");
+    // The tunable itself is exposed as a define, plus the explicit one.
+    EXPECT_EQ(out.image.constants.get_int("block_size"), 32);
+    EXPECT_EQ(out.image.constants.get_int("N_HINT"), 4096);
+    EXPECT_GT(out.compile_seconds, 0.1);
+}
+
+TEST(KernelCompiler, RejectsForeignConfig) {
+    KernelDef def = vector_add_builder().build();
+    Config config;
+    config.set("block_size", Value(48));  // not an allowed value
+    const sim::DeviceProperties& device =
+        sim::DeviceRegistry::global().by_name("NVIDIA RTX A4000");
+    EXPECT_THROW(KernelCompiler::compile(def, config, device), Error);
+}
+
+TEST(KernelCompiler, ProblemDefineWithoutProblemFails) {
+    KernelBuilder builder = vector_add_builder();
+    builder.define("N_HINT", problem_x);
+    KernelDef def = builder.build();
+    const sim::DeviceProperties& device =
+        sim::DeviceRegistry::global().by_name("NVIDIA RTX A4000");
+    EXPECT_THROW(
+        KernelCompiler::compile(def, def.space.default_config(), device), Error);
+}
+
+}  // namespace
+}  // namespace kl::core

@@ -1,0 +1,159 @@
+// Tests for the nvrtc*-style C API shim, including the full C-vocabulary
+// round trip: nvrtcCreateProgram -> nvrtcCompileProgram ->
+// nvrtcGetLoweredName -> klGetImage -> cuModuleLoadData -> cuLaunchKernel.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "cudasim/driver.hpp"
+#include "nvrtcsim/nvrtc_c_api.hpp"
+#include "nvrtcsim/registry.hpp"
+
+namespace kl::rtc::c_api {
+namespace {
+
+class NvrtcCApiTest: public ::testing::Test {
+  protected:
+    void SetUp() override {
+        reset_nvrtc_state_for_testing();
+        register_builtin_kernels();
+    }
+    void TearDown() override {
+        reset_nvrtc_state_for_testing();
+    }
+};
+
+TEST_F(NvrtcCApiTest, CreateCompileQueryDestroy) {
+    nvrtcProgram prog = 0;
+    const std::string& source = builtin_kernel_source("vector_add");
+    ASSERT_EQ(
+        nvrtcCreateProgram(&prog, source.c_str(), "vector_add.cu", 0, nullptr, nullptr),
+        NVRTC_SUCCESS);
+    ASSERT_EQ(nvrtcAddNameExpression(prog, "vector_add<128>"), NVRTC_SUCCESS);
+
+    const char* options[] = {"--gpu-architecture=compute_80"};
+    ASSERT_EQ(nvrtcCompileProgram(prog, 1, options), NVRTC_SUCCESS);
+
+    // Lowered name lookup.
+    const char* lowered = nullptr;
+    ASSERT_EQ(nvrtcGetLoweredName(prog, "vector_add<128>", &lowered), NVRTC_SUCCESS);
+    EXPECT_STREQ(lowered, "vector_add<128>");
+    EXPECT_EQ(
+        nvrtcGetLoweredName(prog, "vector_add<999>", &lowered),
+        NVRTC_ERROR_NAME_EXPRESSION_NOT_VALID);
+
+    // PTX retrieval.
+    size_t ptx_size = 0;
+    ASSERT_EQ(nvrtcGetPTXSize(prog, &ptx_size), NVRTC_SUCCESS);
+    ASSERT_GT(ptx_size, 100u);
+    std::vector<char> ptx(ptx_size);
+    ASSERT_EQ(nvrtcGetPTX(prog, ptx.data()), NVRTC_SUCCESS);
+    EXPECT_NE(std::string(ptx.data()).find(".target compute_80"), std::string::npos);
+
+    // Modeled compile latency (extension).
+    double seconds = 0;
+    ASSERT_EQ(klGetCompileSeconds(prog, &seconds), NVRTC_SUCCESS);
+    EXPECT_GT(seconds, 0.1);
+
+    ASSERT_EQ(nvrtcDestroyProgram(&prog), NVRTC_SUCCESS);
+    EXPECT_EQ(prog, 0u);
+    EXPECT_EQ(nvrtcDestroyProgram(&prog), NVRTC_ERROR_INVALID_PROGRAM);
+}
+
+TEST_F(NvrtcCApiTest, CompilationFailureKeepsProgramAndLog) {
+    nvrtcProgram prog = 0;
+    ASSERT_EQ(
+        nvrtcCreateProgram(
+            &prog, "__global__ void mystery() {}", "m.cu", 0, nullptr, nullptr),
+        NVRTC_SUCCESS);
+    ASSERT_EQ(nvrtcAddNameExpression(prog, "mystery"), NVRTC_SUCCESS);
+    ASSERT_EQ(nvrtcCompileProgram(prog, 0, nullptr), NVRTC_ERROR_COMPILATION);
+
+    size_t log_size = 0;
+    ASSERT_EQ(nvrtcGetProgramLogSize(prog, &log_size), NVRTC_SUCCESS);
+    std::vector<char> log(log_size);
+    ASSERT_EQ(nvrtcGetProgramLog(prog, log.data()), NVRTC_SUCCESS);
+    EXPECT_NE(std::string(log.data()).find("no device implementation"), std::string::npos);
+
+    // PTX is unavailable after failure, but the program handle survives.
+    size_t ptx_size = 0;
+    EXPECT_EQ(nvrtcGetPTXSize(prog, &ptx_size), NVRTC_ERROR_INVALID_INPUT);
+    EXPECT_EQ(nvrtcDestroyProgram(&prog), NVRTC_SUCCESS);
+}
+
+TEST_F(NvrtcCApiTest, InputValidation) {
+    nvrtcProgram prog = 0;
+    EXPECT_EQ(
+        nvrtcCreateProgram(nullptr, "x", "x.cu", 0, nullptr, nullptr),
+        NVRTC_ERROR_INVALID_INPUT);
+    EXPECT_EQ(
+        nvrtcCreateProgram(&prog, "x", "x.cu", 1, nullptr, nullptr),
+        NVRTC_ERROR_INVALID_INPUT);  // headers unsupported
+    EXPECT_EQ(nvrtcAddNameExpression(999, "k"), NVRTC_ERROR_INVALID_PROGRAM);
+
+    ASSERT_EQ(nvrtcCreateProgram(&prog, "x", "x.cu", 0, nullptr, nullptr), NVRTC_SUCCESS);
+    EXPECT_EQ(nvrtcAddNameExpression(prog, ""), NVRTC_ERROR_NAME_EXPRESSION_NOT_VALID);
+    // Compile without name expressions fails with a helpful log.
+    EXPECT_EQ(nvrtcCompileProgram(prog, 0, nullptr), NVRTC_ERROR_INVALID_INPUT);
+    size_t log_size = 0;
+    nvrtcGetProgramLogSize(prog, &log_size);
+    EXPECT_GT(log_size, 10u);
+
+    EXPECT_STREQ(nvrtcGetErrorString(NVRTC_SUCCESS), "NVRTC_SUCCESS");
+    EXPECT_STREQ(nvrtcGetErrorString(NVRTC_ERROR_COMPILATION), "NVRTC_ERROR_COMPILATION");
+}
+
+TEST_F(NvrtcCApiTest, FullCApiRoundTripWithDriver) {
+    using namespace kl::sim::driver;
+    reset_driver_state_for_testing();
+    ASSERT_EQ(cuInit(0), CUDA_SUCCESS);
+    CUcontext ctx;
+    ASSERT_EQ(cuCtxCreate(&ctx, 0, 1), CUDA_SUCCESS);  // A4000
+
+    // Compile saxpy via the C API.
+    nvrtcProgram prog = 0;
+    const std::string& source = builtin_kernel_source("saxpy");
+    ASSERT_EQ(
+        nvrtcCreateProgram(&prog, source.c_str(), "saxpy.cu", 0, nullptr, nullptr),
+        NVRTC_SUCCESS);
+    ASSERT_EQ(nvrtcAddNameExpression(prog, "saxpy"), NVRTC_SUCCESS);
+    const char* options[] = {"-DBLOCK_SIZE=128", "--gpu-architecture=compute_86"};
+    ASSERT_EQ(nvrtcCompileProgram(prog, 2, options), NVRTC_SUCCESS);
+
+    const void* image = nullptr;
+    ASSERT_EQ(klGetImage(prog, "saxpy", &image), NVRTC_SUCCESS);
+
+    CUmodule module;
+    ASSERT_EQ(cuModuleLoadData(&module, image), CUDA_SUCCESS);
+    CUfunction function;
+    ASSERT_EQ(cuModuleGetFunction(&function, module, "saxpy"), CUDA_SUCCESS);
+
+    const int n = 1000;
+    CUdeviceptr y, x;
+    ASSERT_EQ(cuMemAlloc(&y, n * 4), CUDA_SUCCESS);
+    ASSERT_EQ(cuMemAlloc(&x, n * 4), CUDA_SUCCESS);
+    std::vector<float> hy(n, 1.0f), hx(n, 2.0f);
+    ASSERT_EQ(cuMemcpyHtoD(y, hy.data(), n * 4), CUDA_SUCCESS);
+    ASSERT_EQ(cuMemcpyHtoD(x, hx.data(), n * 4), CUDA_SUCCESS);
+
+    float a = 3.0f;
+    int count = n;
+    void* params[] = {&y, &x, &a, &count, nullptr};
+    ASSERT_EQ(
+        cuLaunchKernel(function, (n + 127) / 128, 1, 1, 128, 1, 1, 0, 0, params, nullptr),
+        CUDA_SUCCESS);
+
+    std::vector<float> out(n);
+    ASSERT_EQ(cuMemcpyDtoH(out.data(), y, n * 4), CUDA_SUCCESS);
+    EXPECT_EQ(out[0], 7.0f);
+    EXPECT_EQ(out[n - 1], 7.0f);
+
+    ASSERT_EQ(nvrtcDestroyProgram(&prog), NVRTC_SUCCESS);
+    ASSERT_EQ(cuCtxDestroy(ctx), CUDA_SUCCESS);
+    reset_driver_state_for_testing();
+}
+
+}  // namespace
+}  // namespace kl::rtc::c_api

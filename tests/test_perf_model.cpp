@@ -1,0 +1,331 @@
+// Mechanism tests for the analytical performance model. Rather than
+// asserting absolute times, these tests pin down the *directions* each
+// hardware mechanism must push — the properties the paper's evaluation
+// shapes rely on (occupancy, DP throughput, spilling, coalescing, halo
+// reuse, tail effects, deterministic jitter).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cudasim/perf_model.hpp"
+#include "microhh/definitions.hpp"
+#include "microhh/kernels.hpp"
+#include "nvrtcsim/nvrtc.hpp"
+
+namespace kl::sim {
+namespace {
+
+const DeviceProperties& a100() {
+    return DeviceRegistry::global().by_name("NVIDIA A100-PCIE-40GB");
+}
+const DeviceProperties& a4000() {
+    return DeviceRegistry::global().by_name("NVIDIA RTX A4000");
+}
+
+/// Compiles an advec_u instance with the given tunables on top of the
+/// defaults, returning image + geometry-derived grid.
+struct Instance {
+    KernelImage image;
+    Dim3 grid;
+    Dim3 block;
+};
+
+Instance make_advec(
+    const std::string& real,
+    int n,
+    std::map<std::string, std::string> overrides = {}) {
+    microhh::register_microhh_kernels();
+    std::map<std::string, std::string> defines = {
+        {"BLOCK_SIZE_X", "256"},    {"BLOCK_SIZE_Y", "1"},
+        {"BLOCK_SIZE_Z", "1"},      {"TILE_FACTOR_X", "1"},
+        {"TILE_FACTOR_Y", "1"},     {"TILE_FACTOR_Z", "1"},
+        {"UNROLL_X", "0"},          {"UNROLL_Y", "0"},
+        {"UNROLL_Z", "0"},          {"TILE_CONTIGUOUS_X", "0"},
+        {"TILE_CONTIGUOUS_Y", "0"}, {"TILE_CONTIGUOUS_Z", "0"},
+        {"UNRAVEL_ORDER", "XYZ"},   {"BLOCKS_PER_SM", "1"},
+    };
+    defines["PROBLEM_SIZE_X"] = std::to_string(n);
+    defines["PROBLEM_SIZE_Y"] = std::to_string(n);
+    defines["PROBLEM_SIZE_Z"] = std::to_string(n);
+    for (auto& [k, v] : overrides) {
+        defines[k] = v;
+    }
+
+    std::vector<std::string> options;
+    for (const auto& [k, v] : defines) {
+        options.push_back("-D" + k + "=" + v);
+    }
+    rtc::Program program("advec_u", microhh::advec_u_source(), "advec_u.cu");
+    program.add_name_expression("advec_u<" + real + ">");
+    Instance inst;
+    inst.image = std::move(program.compile(options).images.front());
+
+    auto geti = [&](const char* name) {
+        return static_cast<uint32_t>(std::stoll(defines[name]));
+    };
+    inst.block = Dim3(geti("BLOCK_SIZE_X"), geti("BLOCK_SIZE_Y"), geti("BLOCK_SIZE_Z"));
+    auto blocks_along = [&](const char* b, const char* t) {
+        uint32_t span = geti(b) * geti(t);
+        return (static_cast<uint32_t>(n) + span - 1) / span;
+    };
+    uint32_t total = blocks_along("BLOCK_SIZE_X", "TILE_FACTOR_X")
+        * blocks_along("BLOCK_SIZE_Y", "TILE_FACTOR_Y")
+        * blocks_along("BLOCK_SIZE_Z", "TILE_FACTOR_Z");
+    inst.grid = Dim3(total);
+    return inst;
+}
+
+double time_of(const DeviceProperties& device, const Instance& inst) {
+    PerfModel model;
+    return model.estimate(device, inst.image, inst.grid, inst.block, 0).seconds;
+}
+
+TimingEstimate estimate_of(const DeviceProperties& device, const Instance& inst) {
+    PerfModel model;
+    return model.estimate(device, inst.image, inst.grid, inst.block, 0);
+}
+
+// --- occupancy ---------------------------------------------------------------
+
+TEST(Occupancy, LimitedByThreadsPerSm) {
+    PerfModel model;
+    Instance inst = make_advec("float", 256);
+    inst.image.registers_per_thread = 16;  // registers never bind
+    // A100: 2048 threads/SM -> two 1024-thread blocks.
+    EXPECT_EQ(model.occupancy_blocks_per_sm(a100(), inst.image, Dim3(1024), 0), 2);
+    // A4000: 1536 threads/SM -> one 1024-thread block.
+    EXPECT_EQ(model.occupancy_blocks_per_sm(a4000(), inst.image, Dim3(1024), 0), 1);
+}
+
+TEST(Occupancy, LimitedByRegisters) {
+    PerfModel model;
+    Instance inst = make_advec("float", 256);
+    inst.image.registers_per_thread = 64;
+    // 65536 / (256 threads * 64 regs) = 4 blocks.
+    EXPECT_EQ(model.occupancy_blocks_per_sm(a100(), inst.image, Dim3(256), 0), 4);
+    inst.image.registers_per_thread = 128;
+    EXPECT_EQ(model.occupancy_blocks_per_sm(a100(), inst.image, Dim3(256), 0), 2);
+}
+
+TEST(Occupancy, LimitedByBlockSlots) {
+    PerfModel model;
+    Instance inst = make_advec("float", 256);
+    inst.image.registers_per_thread = 16;
+    // Tiny blocks: slot limit binds (32 on A100, 16 on GA104).
+    EXPECT_EQ(model.occupancy_blocks_per_sm(a100(), inst.image, Dim3(32), 0), 32);
+    EXPECT_EQ(model.occupancy_blocks_per_sm(a4000(), inst.image, Dim3(32), 0), 16);
+}
+
+TEST(Occupancy, LimitedBySharedMemory) {
+    PerfModel model;
+    Instance inst = make_advec("float", 256);
+    inst.image.registers_per_thread = 16;
+    // 40 KB smem per block on a 164 KB SM -> 4 blocks.
+    EXPECT_EQ(
+        model.occupancy_blocks_per_sm(a100(), inst.image, Dim3(128), 40 * 1024), 4);
+}
+
+TEST(Occupancy, ZeroWhenBlockTooLarge) {
+    PerfModel model;
+    Instance inst = make_advec("float", 256);
+    EXPECT_EQ(model.occupancy_blocks_per_sm(a100(), inst.image, Dim3(2048), 0), 0);
+}
+
+TEST(Occupancy, RegisterPressureCanMakeLaunchImpossible) {
+    Instance inst = make_advec("float", 256);
+    inst.image.registers_per_thread = 255;
+    inst.block = Dim3(1024);
+    inst.grid = Dim3(64);
+    // 255 regs * 1024 threads > 64K register file.
+    EXPECT_THROW(time_of(a100(), inst), CudaError);
+}
+
+// --- precision and device throughput ---------------------------------------
+
+TEST(PerfModel, DoubleIsComputeBoundOnA4000ButNotA100) {
+    // The paper's §5.5 observation: the A4000's 1:32 DP ratio makes the
+    // double-precision kernels compute-bound; the A100 (1:2) stays
+    // memory-bound.
+    Instance f = make_advec("float", 256);
+    Instance d = make_advec("double", 256);
+    EXPECT_FALSE(estimate_of(a4000(), f).compute_bound);
+    EXPECT_TRUE(estimate_of(a4000(), d).compute_bound);
+    EXPECT_FALSE(estimate_of(a100(), d).compute_bound);
+}
+
+TEST(PerfModel, DoubleSlowerThanFloat) {
+    Instance f = make_advec("float", 256);
+    Instance d = make_advec("double", 256);
+    EXPECT_GT(time_of(a100(), d), 1.5 * time_of(a100(), f));
+    EXPECT_GT(time_of(a4000(), d), 3.0 * time_of(a4000(), f));
+}
+
+TEST(PerfModel, A100FasterThanA4000) {
+    Instance f = make_advec("float", 256);
+    EXPECT_LT(time_of(a100(), f), time_of(a4000(), f));
+}
+
+TEST(PerfModel, TimeScalesWithProblemVolume) {
+    Instance small = make_advec("float", 256);
+    Instance large = make_advec("float", 512);
+    double ratio = time_of(a100(), large) / time_of(a100(), small);
+    EXPECT_NEAR(ratio, 8.0, 2.0);
+}
+
+// --- register spilling --------------------------------------------------------
+
+TEST(PerfModel, SpillingSlowsDown) {
+    Instance clean = make_advec("float", 256);
+    Instance spilled = make_advec("float", 256);
+    spilled.image.spilled_registers = 40;
+    EXPECT_GT(time_of(a100(), spilled), 1.3 * time_of(a100(), clean));
+}
+
+TEST(PerfModel, SqueezeIsMilderThanSpill) {
+    Instance squeezed = make_advec("float", 256);
+    squeezed.image.squeezed_registers = 15;
+    Instance spilled = make_advec("float", 256);
+    spilled.image.spilled_registers = 15;
+    Instance clean = make_advec("float", 256);
+    EXPECT_LT(time_of(a100(), squeezed), time_of(a100(), spilled));
+    EXPECT_GE(time_of(a100(), squeezed), time_of(a100(), clean) * 0.98);
+}
+
+// --- tail / wave effects --------------------------------------------------------
+
+TEST(PerfModel, OversizedTilesStarveSmallGrids) {
+    // Heavy tiling shrinks the grid below one wave: fine for 512^3, costly
+    // for a tiny domain. (The mechanism behind "tiling factors that win on
+    // large problems lose on small ones".)
+    std::map<std::string, std::string> fat = {
+        {"BLOCK_SIZE_X", "64"},  {"BLOCK_SIZE_Y", "4"},  {"BLOCK_SIZE_Z", "4"},
+        {"TILE_FACTOR_X", "4"},  {"TILE_FACTOR_Y", "4"}, {"TILE_FACTOR_Z", "4"},
+    };
+    Instance fat64 = make_advec("float", 64, fat);
+    TimingEstimate est = estimate_of(a100(), fat64);
+    EXPECT_LT(est.tail_utilization, 0.2);  // almost all SMs idle
+
+    Instance fat512 = make_advec("float", 512, fat);
+    EXPECT_GT(estimate_of(a100(), fat512).tail_utilization, 0.6);
+}
+
+// --- coalescing -----------------------------------------------------------------
+
+TEST(PerfModel, NarrowBlocksHurtCoalescingMoreOnHbm) {
+    std::map<std::string, std::string> narrow = {{"BLOCK_SIZE_X", "16"},
+                                                 {"BLOCK_SIZE_Y", "16"}};
+    Instance n = make_advec("float", 256, narrow);
+    TimingEstimate on_a100 = estimate_of(a100(), n);
+    TimingEstimate on_a4000 = estimate_of(a4000(), n);
+    EXPECT_LT(on_a100.coalescing, 1.0);
+    // 64-byte HBM sectors waste more on 64-byte rows than 32-byte GDDR.
+    EXPECT_LT(on_a100.coalescing, on_a4000.coalescing + 1e-9);
+}
+
+TEST(PerfModel, ContiguousTilingTradesCoalescingForReuse) {
+    std::map<std::string, std::string> strided = {
+        {"BLOCK_SIZE_X", "32"}, {"TILE_FACTOR_X", "4"}, {"TILE_CONTIGUOUS_X", "0"}};
+    std::map<std::string, std::string> contiguous = strided;
+    contiguous["TILE_CONTIGUOUS_X"] = "1";
+
+    TimingEstimate s = estimate_of(a100(), make_advec("float", 256, strided));
+    TimingEstimate c = estimate_of(a100(), make_advec("float", 256, contiguous));
+    EXPECT_GT(s.coalescing, c.coalescing);  // strided keeps coalescing
+
+    // ... and unrolling recovers part of the contiguous penalty.
+    std::map<std::string, std::string> unrolled = contiguous;
+    unrolled["UNROLL_X"] = "1";
+    TimingEstimate u = estimate_of(a100(), make_advec("float", 256, unrolled));
+    EXPECT_GE(u.coalescing, c.coalescing);
+}
+
+// --- halo reuse -------------------------------------------------------------------
+
+TEST(PerfModel, UnravelOrderAffectsReuse) {
+    // The unravel permutation decides which axis' halo neighbors are
+    // scheduled adjacently. With a block that is thin in z (many z-blocks
+    // across the domain), unraveling z-fastest keeps z-halo traffic in L2,
+    // while x-fastest scheduling puts ~2000 blocks between z-neighbors —
+    // far beyond the A4000's 4 MB L2 at 512^3 double.
+    std::map<std::string, std::string> base = {
+        {"BLOCK_SIZE_X", "32"}, {"BLOCK_SIZE_Y", "4"}, {"BLOCK_SIZE_Z", "2"}};
+    std::map<std::string, std::string> xyz = base, zyx = base;
+    xyz["UNRAVEL_ORDER"] = "XYZ";
+    zyx["UNRAVEL_ORDER"] = "ZYX";
+
+    TimingEstimate x_fastest = estimate_of(a4000(), make_advec("double", 512, xyz));
+    TimingEstimate z_fastest = estimate_of(a4000(), make_advec("double", 512, zyx));
+    EXPECT_GT(z_fastest.halo_reuse, x_fastest.halo_reuse + 0.05);
+
+    // On the A100's 40 MB L2 the same working sets still fit, so the
+    // permutation matters much less.
+    TimingEstimate a100_x = estimate_of(a100(), make_advec("double", 512, xyz));
+    TimingEstimate a100_z = estimate_of(a100(), make_advec("double", 512, zyx));
+    EXPECT_LT(
+        std::abs(a100_z.halo_reuse - a100_x.halo_reuse),
+        z_fastest.halo_reuse - x_fastest.halo_reuse);
+}
+
+TEST(PerfModel, ReuseDropsWithWorkingSetOnSmallL2) {
+    std::map<std::string, std::string> cfg = {
+        {"BLOCK_SIZE_X", "256"}, {"UNRAVEL_ORDER", "XYZ"}};
+    TimingEstimate small = estimate_of(a4000(), make_advec("double", 128, cfg));
+    TimingEstimate large = estimate_of(a4000(), make_advec("double", 512, cfg));
+    EXPECT_GE(small.halo_reuse, large.halo_reuse);
+}
+
+// --- determinism ---------------------------------------------------------------
+
+TEST(PerfModel, EstimatesAreDeterministic) {
+    Instance inst = make_advec("float", 256);
+    double t1 = time_of(a100(), inst);
+    double t2 = time_of(a100(), inst);
+    EXPECT_EQ(t1, t2);
+}
+
+TEST(PerfModel, JitterIsConfigAndDeviceSpecific) {
+    // Two devices with identical raw properties still time a config
+    // differently (deterministic per-device jitter), which is what makes
+    // "same config, same specs, different silicon" realistic.
+    DeviceProperties clone = a100();
+    clone.name = "NVIDIA A100-CLONE";
+    DeviceRegistry::global().add(clone);
+    Instance inst = make_advec("float", 256);
+    double t_orig = time_of(a100(), inst);
+    double t_clone = time_of(DeviceRegistry::global().by_name("NVIDIA A100-CLONE"), inst);
+    EXPECT_NE(t_orig, t_clone);
+    EXPECT_NEAR(t_clone / t_orig, 1.0, 0.35);
+}
+
+TEST(PerfModel, BreakdownIsConsistent) {
+    TimingEstimate est = estimate_of(a100(), make_advec("float", 256));
+    EXPECT_GT(est.seconds, 0);
+    EXPECT_GT(est.dram_bytes, 0);
+    EXPECT_GT(est.flops, 0);
+    EXPECT_GE(est.seconds, std::max(est.memory_seconds, est.compute_seconds) * 0.9);
+    EXPECT_GT(est.occupancy, 0);
+    EXPECT_LE(est.occupancy, 1.0);
+    EXPECT_NEAR(est.achieved_bandwidth_gbs, est.dram_bytes / est.seconds / 1e9, 1e-6);
+}
+
+TEST(ParseUnravelOrder, AllPermutationsAndFallback) {
+    int order[3];
+    parse_unravel_order("ZXY", order);
+    EXPECT_EQ(order[0], 2);
+    EXPECT_EQ(order[1], 0);
+    EXPECT_EQ(order[2], 1);
+    parse_unravel_order("xyz", order);
+    EXPECT_EQ(order[0], 0);
+    // Malformed inputs keep the default XYZ.
+    parse_unravel_order("XXY", order);
+    EXPECT_EQ(order[0], 0);
+    EXPECT_EQ(order[1], 1);
+    parse_unravel_order("QRS", order);
+    EXPECT_EQ(order[2], 2);
+    parse_unravel_order("XY", order);
+    EXPECT_EQ(order[0], 0);
+}
+
+}  // namespace
+}  // namespace kl::sim
