@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_portability.dir/bench_fig4_portability.cpp.o"
+  "CMakeFiles/bench_fig4_portability.dir/bench_fig4_portability.cpp.o.d"
+  "bench_fig4_portability"
+  "bench_fig4_portability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_portability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

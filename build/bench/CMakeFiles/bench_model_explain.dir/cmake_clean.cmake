@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_model_explain.dir/bench_model_explain.cpp.o"
+  "CMakeFiles/bench_model_explain.dir/bench_model_explain.cpp.o.d"
+  "bench_model_explain"
+  "bench_model_explain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_model_explain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

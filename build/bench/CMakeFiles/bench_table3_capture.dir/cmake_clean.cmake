@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_capture.dir/bench_table3_capture.cpp.o"
+  "CMakeFiles/bench_table3_capture.dir/bench_table3_capture.cpp.o.d"
+  "bench_table3_capture"
+  "bench_table3_capture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_capture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table45_ppm.dir/bench_table45_ppm.cpp.o"
+  "CMakeFiles/bench_table45_ppm.dir/bench_table45_ppm.cpp.o.d"
+  "bench_table45_ppm"
+  "bench_table45_ppm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table45_ppm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

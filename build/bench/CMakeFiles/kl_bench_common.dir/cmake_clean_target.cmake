@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libkl_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/annotated_kernel.dir/annotated_kernel.cpp.o"
+  "CMakeFiles/annotated_kernel.dir/annotated_kernel.cpp.o.d"
+  "annotated_kernel"
+  "annotated_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/annotated_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

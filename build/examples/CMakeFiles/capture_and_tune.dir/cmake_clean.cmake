@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capture_and_tune.dir/capture_and_tune.cpp.o"
+  "CMakeFiles/capture_and_tune.dir/capture_and_tune.cpp.o.d"
+  "capture_and_tune"
+  "capture_and_tune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capture_and_tune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

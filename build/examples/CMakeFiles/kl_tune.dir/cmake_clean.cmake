@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kl_tune.dir/kl_tune.cpp.o"
+  "CMakeFiles/kl_tune.dir/kl_tune.cpp.o.d"
+  "kl_tune"
+  "kl_tune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kl_tune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microhh_simulation.dir/microhh_simulation.cpp.o"
+  "CMakeFiles/microhh_simulation.dir/microhh_simulation.cpp.o.d"
+  "microhh_simulation"
+  "microhh_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microhh_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

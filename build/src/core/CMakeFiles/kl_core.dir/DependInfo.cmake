@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/capture.cpp" "src/core/CMakeFiles/kl_core.dir/capture.cpp.o" "gcc" "src/core/CMakeFiles/kl_core.dir/capture.cpp.o.d"
+  "/root/repo/src/core/config.cpp" "src/core/CMakeFiles/kl_core.dir/config.cpp.o" "gcc" "src/core/CMakeFiles/kl_core.dir/config.cpp.o.d"
+  "/root/repo/src/core/expr.cpp" "src/core/CMakeFiles/kl_core.dir/expr.cpp.o" "gcc" "src/core/CMakeFiles/kl_core.dir/expr.cpp.o.d"
+  "/root/repo/src/core/expr_parser.cpp" "src/core/CMakeFiles/kl_core.dir/expr_parser.cpp.o" "gcc" "src/core/CMakeFiles/kl_core.dir/expr_parser.cpp.o.d"
+  "/root/repo/src/core/kernel_arg.cpp" "src/core/CMakeFiles/kl_core.dir/kernel_arg.cpp.o" "gcc" "src/core/CMakeFiles/kl_core.dir/kernel_arg.cpp.o.d"
+  "/root/repo/src/core/kernel_def.cpp" "src/core/CMakeFiles/kl_core.dir/kernel_def.cpp.o" "gcc" "src/core/CMakeFiles/kl_core.dir/kernel_def.cpp.o.d"
+  "/root/repo/src/core/kernel_registry.cpp" "src/core/CMakeFiles/kl_core.dir/kernel_registry.cpp.o" "gcc" "src/core/CMakeFiles/kl_core.dir/kernel_registry.cpp.o.d"
+  "/root/repo/src/core/pragma.cpp" "src/core/CMakeFiles/kl_core.dir/pragma.cpp.o" "gcc" "src/core/CMakeFiles/kl_core.dir/pragma.cpp.o.d"
+  "/root/repo/src/core/value.cpp" "src/core/CMakeFiles/kl_core.dir/value.cpp.o" "gcc" "src/core/CMakeFiles/kl_core.dir/value.cpp.o.d"
+  "/root/repo/src/core/wisdom.cpp" "src/core/CMakeFiles/kl_core.dir/wisdom.cpp.o" "gcc" "src/core/CMakeFiles/kl_core.dir/wisdom.cpp.o.d"
+  "/root/repo/src/core/wisdom_kernel.cpp" "src/core/CMakeFiles/kl_core.dir/wisdom_kernel.cpp.o" "gcc" "src/core/CMakeFiles/kl_core.dir/wisdom_kernel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nvrtcsim/CMakeFiles/kl_nvrtcsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cudasim/CMakeFiles/kl_cudasim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/kl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

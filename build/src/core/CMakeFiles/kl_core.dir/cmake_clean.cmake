@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kl_core.dir/capture.cpp.o"
+  "CMakeFiles/kl_core.dir/capture.cpp.o.d"
+  "CMakeFiles/kl_core.dir/config.cpp.o"
+  "CMakeFiles/kl_core.dir/config.cpp.o.d"
+  "CMakeFiles/kl_core.dir/expr.cpp.o"
+  "CMakeFiles/kl_core.dir/expr.cpp.o.d"
+  "CMakeFiles/kl_core.dir/expr_parser.cpp.o"
+  "CMakeFiles/kl_core.dir/expr_parser.cpp.o.d"
+  "CMakeFiles/kl_core.dir/kernel_arg.cpp.o"
+  "CMakeFiles/kl_core.dir/kernel_arg.cpp.o.d"
+  "CMakeFiles/kl_core.dir/kernel_def.cpp.o"
+  "CMakeFiles/kl_core.dir/kernel_def.cpp.o.d"
+  "CMakeFiles/kl_core.dir/kernel_registry.cpp.o"
+  "CMakeFiles/kl_core.dir/kernel_registry.cpp.o.d"
+  "CMakeFiles/kl_core.dir/pragma.cpp.o"
+  "CMakeFiles/kl_core.dir/pragma.cpp.o.d"
+  "CMakeFiles/kl_core.dir/value.cpp.o"
+  "CMakeFiles/kl_core.dir/value.cpp.o.d"
+  "CMakeFiles/kl_core.dir/wisdom.cpp.o"
+  "CMakeFiles/kl_core.dir/wisdom.cpp.o.d"
+  "CMakeFiles/kl_core.dir/wisdom_kernel.cpp.o"
+  "CMakeFiles/kl_core.dir/wisdom_kernel.cpp.o.d"
+  "libkl_core.a"
+  "libkl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

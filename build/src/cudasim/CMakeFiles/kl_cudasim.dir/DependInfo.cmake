@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cudasim/context.cpp" "src/cudasim/CMakeFiles/kl_cudasim.dir/context.cpp.o" "gcc" "src/cudasim/CMakeFiles/kl_cudasim.dir/context.cpp.o.d"
+  "/root/repo/src/cudasim/device_props.cpp" "src/cudasim/CMakeFiles/kl_cudasim.dir/device_props.cpp.o" "gcc" "src/cudasim/CMakeFiles/kl_cudasim.dir/device_props.cpp.o.d"
+  "/root/repo/src/cudasim/driver.cpp" "src/cudasim/CMakeFiles/kl_cudasim.dir/driver.cpp.o" "gcc" "src/cudasim/CMakeFiles/kl_cudasim.dir/driver.cpp.o.d"
+  "/root/repo/src/cudasim/kernel_image.cpp" "src/cudasim/CMakeFiles/kl_cudasim.dir/kernel_image.cpp.o" "gcc" "src/cudasim/CMakeFiles/kl_cudasim.dir/kernel_image.cpp.o.d"
+  "/root/repo/src/cudasim/memory.cpp" "src/cudasim/CMakeFiles/kl_cudasim.dir/memory.cpp.o" "gcc" "src/cudasim/CMakeFiles/kl_cudasim.dir/memory.cpp.o.d"
+  "/root/repo/src/cudasim/module.cpp" "src/cudasim/CMakeFiles/kl_cudasim.dir/module.cpp.o" "gcc" "src/cudasim/CMakeFiles/kl_cudasim.dir/module.cpp.o.d"
+  "/root/repo/src/cudasim/perf_model.cpp" "src/cudasim/CMakeFiles/kl_cudasim.dir/perf_model.cpp.o" "gcc" "src/cudasim/CMakeFiles/kl_cudasim.dir/perf_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/kl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kl_cudasim.dir/context.cpp.o"
+  "CMakeFiles/kl_cudasim.dir/context.cpp.o.d"
+  "CMakeFiles/kl_cudasim.dir/device_props.cpp.o"
+  "CMakeFiles/kl_cudasim.dir/device_props.cpp.o.d"
+  "CMakeFiles/kl_cudasim.dir/driver.cpp.o"
+  "CMakeFiles/kl_cudasim.dir/driver.cpp.o.d"
+  "CMakeFiles/kl_cudasim.dir/kernel_image.cpp.o"
+  "CMakeFiles/kl_cudasim.dir/kernel_image.cpp.o.d"
+  "CMakeFiles/kl_cudasim.dir/memory.cpp.o"
+  "CMakeFiles/kl_cudasim.dir/memory.cpp.o.d"
+  "CMakeFiles/kl_cudasim.dir/module.cpp.o"
+  "CMakeFiles/kl_cudasim.dir/module.cpp.o.d"
+  "CMakeFiles/kl_cudasim.dir/perf_model.cpp.o"
+  "CMakeFiles/kl_cudasim.dir/perf_model.cpp.o.d"
+  "libkl_cudasim.a"
+  "libkl_cudasim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kl_cudasim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/microhh/definitions.cpp" "src/microhh/CMakeFiles/kl_microhh.dir/definitions.cpp.o" "gcc" "src/microhh/CMakeFiles/kl_microhh.dir/definitions.cpp.o.d"
+  "/root/repo/src/microhh/grid.cpp" "src/microhh/CMakeFiles/kl_microhh.dir/grid.cpp.o" "gcc" "src/microhh/CMakeFiles/kl_microhh.dir/grid.cpp.o.d"
+  "/root/repo/src/microhh/kernels.cpp" "src/microhh/CMakeFiles/kl_microhh.dir/kernels.cpp.o" "gcc" "src/microhh/CMakeFiles/kl_microhh.dir/kernels.cpp.o.d"
+  "/root/repo/src/microhh/model.cpp" "src/microhh/CMakeFiles/kl_microhh.dir/model.cpp.o" "gcc" "src/microhh/CMakeFiles/kl_microhh.dir/model.cpp.o.d"
+  "/root/repo/src/microhh/reference.cpp" "src/microhh/CMakeFiles/kl_microhh.dir/reference.cpp.o" "gcc" "src/microhh/CMakeFiles/kl_microhh.dir/reference.cpp.o.d"
+  "/root/repo/src/microhh/tiled_assignment.cpp" "src/microhh/CMakeFiles/kl_microhh.dir/tiled_assignment.cpp.o" "gcc" "src/microhh/CMakeFiles/kl_microhh.dir/tiled_assignment.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/kl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvrtcsim/CMakeFiles/kl_nvrtcsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cudasim/CMakeFiles/kl_cudasim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/kl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

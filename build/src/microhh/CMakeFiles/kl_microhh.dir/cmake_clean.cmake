@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kl_microhh.dir/definitions.cpp.o"
+  "CMakeFiles/kl_microhh.dir/definitions.cpp.o.d"
+  "CMakeFiles/kl_microhh.dir/grid.cpp.o"
+  "CMakeFiles/kl_microhh.dir/grid.cpp.o.d"
+  "CMakeFiles/kl_microhh.dir/kernels.cpp.o"
+  "CMakeFiles/kl_microhh.dir/kernels.cpp.o.d"
+  "CMakeFiles/kl_microhh.dir/model.cpp.o"
+  "CMakeFiles/kl_microhh.dir/model.cpp.o.d"
+  "CMakeFiles/kl_microhh.dir/reference.cpp.o"
+  "CMakeFiles/kl_microhh.dir/reference.cpp.o.d"
+  "CMakeFiles/kl_microhh.dir/tiled_assignment.cpp.o"
+  "CMakeFiles/kl_microhh.dir/tiled_assignment.cpp.o.d"
+  "libkl_microhh.a"
+  "libkl_microhh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kl_microhh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

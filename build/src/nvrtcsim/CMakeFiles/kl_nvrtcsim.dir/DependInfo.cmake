@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nvrtcsim/builtin_kernels.cpp" "src/nvrtcsim/CMakeFiles/kl_nvrtcsim.dir/builtin_kernels.cpp.o" "gcc" "src/nvrtcsim/CMakeFiles/kl_nvrtcsim.dir/builtin_kernels.cpp.o.d"
+  "/root/repo/src/nvrtcsim/nvrtc.cpp" "src/nvrtcsim/CMakeFiles/kl_nvrtcsim.dir/nvrtc.cpp.o" "gcc" "src/nvrtcsim/CMakeFiles/kl_nvrtcsim.dir/nvrtc.cpp.o.d"
+  "/root/repo/src/nvrtcsim/nvrtc_c_api.cpp" "src/nvrtcsim/CMakeFiles/kl_nvrtcsim.dir/nvrtc_c_api.cpp.o" "gcc" "src/nvrtcsim/CMakeFiles/kl_nvrtcsim.dir/nvrtc_c_api.cpp.o.d"
+  "/root/repo/src/nvrtcsim/registry.cpp" "src/nvrtcsim/CMakeFiles/kl_nvrtcsim.dir/registry.cpp.o" "gcc" "src/nvrtcsim/CMakeFiles/kl_nvrtcsim.dir/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cudasim/CMakeFiles/kl_cudasim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/kl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kl_nvrtcsim.dir/builtin_kernels.cpp.o"
+  "CMakeFiles/kl_nvrtcsim.dir/builtin_kernels.cpp.o.d"
+  "CMakeFiles/kl_nvrtcsim.dir/nvrtc.cpp.o"
+  "CMakeFiles/kl_nvrtcsim.dir/nvrtc.cpp.o.d"
+  "CMakeFiles/kl_nvrtcsim.dir/nvrtc_c_api.cpp.o"
+  "CMakeFiles/kl_nvrtcsim.dir/nvrtc_c_api.cpp.o.d"
+  "CMakeFiles/kl_nvrtcsim.dir/registry.cpp.o"
+  "CMakeFiles/kl_nvrtcsim.dir/registry.cpp.o.d"
+  "libkl_nvrtcsim.a"
+  "libkl_nvrtcsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kl_nvrtcsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

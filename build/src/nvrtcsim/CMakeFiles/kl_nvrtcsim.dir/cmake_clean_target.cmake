@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libkl_nvrtcsim.a"
+)

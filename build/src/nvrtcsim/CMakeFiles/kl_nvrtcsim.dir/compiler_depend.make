@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for kl_nvrtcsim.
+# This may be replaced when dependencies are built.

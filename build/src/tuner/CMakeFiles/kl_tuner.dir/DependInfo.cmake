@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tuner/bayes.cpp" "src/tuner/CMakeFiles/kl_tuner.dir/bayes.cpp.o" "gcc" "src/tuner/CMakeFiles/kl_tuner.dir/bayes.cpp.o.d"
+  "/root/repo/src/tuner/cache.cpp" "src/tuner/CMakeFiles/kl_tuner.dir/cache.cpp.o" "gcc" "src/tuner/CMakeFiles/kl_tuner.dir/cache.cpp.o.d"
+  "/root/repo/src/tuner/runner.cpp" "src/tuner/CMakeFiles/kl_tuner.dir/runner.cpp.o" "gcc" "src/tuner/CMakeFiles/kl_tuner.dir/runner.cpp.o.d"
+  "/root/repo/src/tuner/session.cpp" "src/tuner/CMakeFiles/kl_tuner.dir/session.cpp.o" "gcc" "src/tuner/CMakeFiles/kl_tuner.dir/session.cpp.o.d"
+  "/root/repo/src/tuner/strategy.cpp" "src/tuner/CMakeFiles/kl_tuner.dir/strategy.cpp.o" "gcc" "src/tuner/CMakeFiles/kl_tuner.dir/strategy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/kl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvrtcsim/CMakeFiles/kl_nvrtcsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cudasim/CMakeFiles/kl_cudasim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/kl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kl_tuner.dir/bayes.cpp.o"
+  "CMakeFiles/kl_tuner.dir/bayes.cpp.o.d"
+  "CMakeFiles/kl_tuner.dir/cache.cpp.o"
+  "CMakeFiles/kl_tuner.dir/cache.cpp.o.d"
+  "CMakeFiles/kl_tuner.dir/runner.cpp.o"
+  "CMakeFiles/kl_tuner.dir/runner.cpp.o.d"
+  "CMakeFiles/kl_tuner.dir/session.cpp.o"
+  "CMakeFiles/kl_tuner.dir/session.cpp.o.d"
+  "CMakeFiles/kl_tuner.dir/strategy.cpp.o"
+  "CMakeFiles/kl_tuner.dir/strategy.cpp.o.d"
+  "libkl_tuner.a"
+  "libkl_tuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kl_tuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kl_util.dir/fs.cpp.o"
+  "CMakeFiles/kl_util.dir/fs.cpp.o.d"
+  "CMakeFiles/kl_util.dir/json.cpp.o"
+  "CMakeFiles/kl_util.dir/json.cpp.o.d"
+  "CMakeFiles/kl_util.dir/rng.cpp.o"
+  "CMakeFiles/kl_util.dir/rng.cpp.o.d"
+  "CMakeFiles/kl_util.dir/strings.cpp.o"
+  "CMakeFiles/kl_util.dir/strings.cpp.o.d"
+  "libkl_util.a"
+  "libkl_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kl_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cudasim.dir/test_cudasim.cpp.o"
+  "CMakeFiles/test_cudasim.dir/test_cudasim.cpp.o.d"
+  "test_cudasim"
+  "test_cudasim.pdb"
+  "test_cudasim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cudasim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

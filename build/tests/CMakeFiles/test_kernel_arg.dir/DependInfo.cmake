@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_kernel_arg.cpp" "tests/CMakeFiles/test_kernel_arg.dir/test_kernel_arg.cpp.o" "gcc" "tests/CMakeFiles/test_kernel_arg.dir/test_kernel_arg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/microhh/CMakeFiles/kl_microhh.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuner/CMakeFiles/kl_tuner.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/kl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvrtcsim/CMakeFiles/kl_nvrtcsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cudasim/CMakeFiles/kl_cudasim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/kl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernel_arg.dir/test_kernel_arg.cpp.o"
+  "CMakeFiles/test_kernel_arg.dir/test_kernel_arg.cpp.o.d"
+  "test_kernel_arg"
+  "test_kernel_arg.pdb"
+  "test_kernel_arg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernel_arg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

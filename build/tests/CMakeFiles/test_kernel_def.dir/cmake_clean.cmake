@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernel_def.dir/test_kernel_def.cpp.o"
+  "CMakeFiles/test_kernel_def.dir/test_kernel_def.cpp.o.d"
+  "test_kernel_def"
+  "test_kernel_def.pdb"
+  "test_kernel_def[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernel_def.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

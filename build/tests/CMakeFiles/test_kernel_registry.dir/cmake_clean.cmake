@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernel_registry.dir/test_kernel_registry.cpp.o"
+  "CMakeFiles/test_kernel_registry.dir/test_kernel_registry.cpp.o.d"
+  "test_kernel_registry"
+  "test_kernel_registry.pdb"
+  "test_kernel_registry[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernel_registry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

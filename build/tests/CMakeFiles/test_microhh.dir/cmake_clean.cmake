@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_microhh.dir/test_microhh.cpp.o"
+  "CMakeFiles/test_microhh.dir/test_microhh.cpp.o.d"
+  "test_microhh"
+  "test_microhh.pdb"
+  "test_microhh[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_microhh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nvrtc.dir/test_nvrtc.cpp.o"
+  "CMakeFiles/test_nvrtc.dir/test_nvrtc.cpp.o.d"
+  "test_nvrtc"
+  "test_nvrtc.pdb"
+  "test_nvrtc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nvrtc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

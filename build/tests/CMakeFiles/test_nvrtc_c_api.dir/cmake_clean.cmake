@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nvrtc_c_api.dir/test_nvrtc_c_api.cpp.o"
+  "CMakeFiles/test_nvrtc_c_api.dir/test_nvrtc_c_api.cpp.o.d"
+  "test_nvrtc_c_api"
+  "test_nvrtc_c_api.pdb"
+  "test_nvrtc_c_api[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nvrtc_c_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

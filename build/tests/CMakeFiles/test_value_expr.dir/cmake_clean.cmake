@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_value_expr.dir/test_value_expr.cpp.o"
+  "CMakeFiles/test_value_expr.dir/test_value_expr.cpp.o.d"
+  "test_value_expr"
+  "test_value_expr.pdb"
+  "test_value_expr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_value_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

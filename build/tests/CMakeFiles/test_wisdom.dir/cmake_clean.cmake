@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wisdom.dir/test_wisdom.cpp.o"
+  "CMakeFiles/test_wisdom.dir/test_wisdom.cpp.o.d"
+  "test_wisdom"
+  "test_wisdom.pdb"
+  "test_wisdom[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wisdom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wisdom_kernel.dir/test_wisdom_kernel.cpp.o"
+  "CMakeFiles/test_wisdom_kernel.dir/test_wisdom_kernel.cpp.o.d"
+  "test_wisdom_kernel"
+  "test_wisdom_kernel.pdb"
+  "test_wisdom_kernel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wisdom_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

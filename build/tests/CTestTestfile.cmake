@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_smoke[1]_include.cmake")
+include("/root/repo/build/tests/test_json[1]_include.cmake")
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_value_expr[1]_include.cmake")
+include("/root/repo/build/tests/test_config[1]_include.cmake")
+include("/root/repo/build/tests/test_expr_parser[1]_include.cmake")
+include("/root/repo/build/tests/test_cudasim[1]_include.cmake")
+include("/root/repo/build/tests/test_perf_model[1]_include.cmake")
+include("/root/repo/build/tests/test_driver[1]_include.cmake")
+include("/root/repo/build/tests/test_nvrtc_c_api[1]_include.cmake")
+include("/root/repo/build/tests/test_nvrtc[1]_include.cmake")
+include("/root/repo/build/tests/test_kernel_def[1]_include.cmake")
+include("/root/repo/build/tests/test_kernel_arg[1]_include.cmake")
+include("/root/repo/build/tests/test_kernel_registry[1]_include.cmake")
+include("/root/repo/build/tests/test_wisdom[1]_include.cmake")
+include("/root/repo/build/tests/test_capture[1]_include.cmake")
+include("/root/repo/build/tests/test_wisdom_kernel[1]_include.cmake")
+include("/root/repo/build/tests/test_tuner[1]_include.cmake")
+include("/root/repo/build/tests/test_bayes[1]_include.cmake")
+include("/root/repo/build/tests/test_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_microhh[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_paper_shapes[1]_include.cmake")
+include("/root/repo/build/tests/test_error_paths[1]_include.cmake")
