@@ -21,6 +21,13 @@ namespace kl::core {
 /// so two *different* definitions that happen to share a name do not
 /// collide — they get separate entries (and the collision is observable
 /// via size()).
+///
+/// Thread-safe: lookup() may be called from any number of threads, and the
+/// returned reference stays valid under concurrent inserts (entries are
+/// heap-allocated and never move). clear() destroys the cached kernels, so
+/// it must not race with launches through previously-obtained references;
+/// to drop compiled instances while other threads keep launching, use
+/// WisdomKernel::clear_cache() instead, which is safe under concurrency.
 class WisdomKernelRegistry {
   public:
     explicit WisdomKernelRegistry(WisdomSettings settings = WisdomSettings::from_env()):
@@ -36,6 +43,16 @@ class WisdomKernelRegistry {
     template<typename... Ts>
     void launch(const KernelDef& def, const Ts&... args) {
         lookup(def).launch(args...);
+    }
+
+    /// Starts compiling the instance for `problem` ahead of the first
+    /// launch (background worker pool unless KERNEL_LAUNCHER_ASYNC=0).
+    /// Creates the WisdomKernel when absent.
+    void compile_ahead(const KernelDef& def, const ProblemSize& problem) {
+        lookup(def).compile_ahead(problem);
+    }
+    void compile_ahead(const KernelBuilder& builder, const ProblemSize& problem) {
+        lookup(builder).compile_ahead(problem);
     }
 
     size_t size() const;

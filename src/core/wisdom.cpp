@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include <cctype>
 #include <ctime>
 #include <limits>
 
@@ -177,6 +178,14 @@ WisdomSettings WisdomSettings::from_env() {
     }
     if (auto patterns = get_env("KERNEL_LAUNCHER_CAPTURE")) {
         settings.capture_patterns_ = split_trimmed(*patterns, ',');
+    }
+    if (auto async = get_env("KERNEL_LAUNCHER_ASYNC")) {
+        std::string value(trim(*async));
+        for (char& c : value) {
+            c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+        }
+        settings.async_compile_ =
+            !(value == "0" || value == "false" || value == "off" || value == "no");
     }
     return settings;
 }

@@ -87,13 +87,16 @@ class WisdomFile {
     std::vector<WisdomRecord> records_;
 };
 
-/// Process-level settings: where wisdom files and captures live, and which
-/// kernels to capture. Read from the environment (KERNEL_LAUNCHER_WISDOM,
-/// KERNEL_LAUNCHER_CAPTURE, KERNEL_LAUNCHER_CAPTURE_DIR) or constructed
-/// explicitly by tests and experiments.
+/// Process-level settings: where wisdom files and captures live, which
+/// kernels to capture, and whether compile-ahead requests run in the
+/// background. Read from the environment (KERNEL_LAUNCHER_WISDOM,
+/// KERNEL_LAUNCHER_CAPTURE, KERNEL_LAUNCHER_CAPTURE_DIR,
+/// KERNEL_LAUNCHER_ASYNC) or constructed explicitly by tests and
+/// experiments.
 class WisdomSettings {
   public:
-    /// Defaults: wisdom dir ".", capture dir ".", no capture patterns.
+    /// Defaults: wisdom dir ".", capture dir ".", no capture patterns,
+    /// asynchronous compile-ahead enabled.
     WisdomSettings() = default;
 
     static WisdomSettings from_env();
@@ -110,6 +113,14 @@ class WisdomSettings {
         capture_patterns_.push_back(std::move(pattern));
         return *this;
     }
+    /// Whether WisdomKernel::compile_ahead uses the background worker
+    /// pool. When disabled (KERNEL_LAUNCHER_ASYNC=0), compile_ahead
+    /// compiles eagerly in the calling thread and the launch path is
+    /// exactly the library's synchronous behavior.
+    WisdomSettings& async_compile(bool enabled) {
+        async_compile_ = enabled;
+        return *this;
+    }
 
     const std::string& wisdom_dir() const noexcept {
         return wisdom_dir_;
@@ -119,6 +130,9 @@ class WisdomSettings {
     }
     const std::vector<std::string>& capture_patterns() const noexcept {
         return capture_patterns_;
+    }
+    bool async_compile() const noexcept {
+        return async_compile_;
     }
 
     /// Path of the wisdom file for a kernel: <wisdom_dir>/<kernel>.wisdom.json
@@ -131,6 +145,7 @@ class WisdomSettings {
     std::string wisdom_dir_ = ".";
     std::string capture_dir_ = ".";
     std::vector<std::string> capture_patterns_;
+    bool async_compile_ = true;
 };
 
 /// Builds the provenance object recorded with each wisdom record.

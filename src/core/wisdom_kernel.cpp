@@ -1,7 +1,12 @@
 #include "core/wisdom_kernel.hpp"
 
+#include <condition_variable>
+#include <mutex>
+
+#include "nvrtcsim/registry.hpp"
 #include "util/errors.hpp"
 #include "util/fs.hpp"
+#include "util/thread_pool.hpp"
 
 namespace kl::core {
 
@@ -19,9 +24,48 @@ double wisdom_read_seconds(const std::string& path) {
 
 }  // namespace
 
+/// One (device, problem size) instance. `state` transitions only under
+/// SharedState::mutex; every other field is written exactly once, before
+/// the transition out of Compiling, and is immutable afterwards — readers
+/// that observed Ready/Failed under the mutex (or after cv notification)
+/// may use them without further locking.
+struct WisdomKernel::Instance {
+    InstanceState state = InstanceState::Compiling;
+    bool background = false;  ///< built by the worker pool, off the caller's clock
+    Config config;
+    std::shared_ptr<sim::Module> module;
+    WisdomMatch match = WisdomMatch::None;
+    OverheadBreakdown build_cost;  ///< wisdom + compile + load components
+    double ready_time = 0;         ///< virtual-clock time the modeled build completes
+    std::exception_ptr error;      ///< set when state == Failed
+};
+
+struct WisdomKernel::SharedState {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::map<Key, std::shared_ptr<Instance>> instances;
+    std::map<Key, bool> captured;
+    Stats stats;
+    OverheadBreakdown last_overhead;
+    OverheadBreakdown last_cold_overhead;
+    WisdomMatch last_match = WisdomMatch::None;
+    bool last_cold = false;
+};
+
+/// Result of one build attempt, produced without touching any context
+/// clock so that it can run on a worker thread.
+struct WisdomKernel::BuildOutcome {
+    Config config;
+    WisdomMatch match = WisdomMatch::None;
+    std::shared_ptr<sim::Module> module;
+    OverheadBreakdown cost;
+    std::exception_ptr error;
+};
+
 WisdomKernel::WisdomKernel(KernelDef def, WisdomSettings settings):
     def_(std::move(def)),
-    settings_(std::move(settings)) {}
+    settings_(std::move(settings)),
+    state_(std::make_shared<SharedState>()) {}
 
 WisdomKernel::WisdomKernel(const KernelBuilder& builder, WisdomSettings settings):
     WisdomKernel(builder.build(), std::move(settings)) {}
@@ -37,46 +81,198 @@ Config WisdomKernel::select_config(const ProblemSize& problem) const {
     return def_.space.default_config();
 }
 
-WisdomKernel::Instance& WisdomKernel::instance_for(
-    const ProblemSize& problem,
-    sim::Context& context,
-    OverheadBreakdown& overhead) {
-    Key key {context.device().name, problem};
-    auto it = instances_.find(key);
-    if (it != instances_.end()) {
-        last_cold_ = false;
-        return it->second;
+WisdomKernel::BuildOutcome WisdomKernel::build_instance(
+    const KernelDef& def,
+    const std::string& wisdom_path,
+    const sim::DeviceProperties& device,
+    const ProblemSize& problem) {
+    BuildOutcome out;
+    try {
+        // 1. Read the wisdom file and select a configuration (§4.5).
+        out.cost.wisdom_seconds = wisdom_read_seconds(wisdom_path);
+        WisdomFile wisdom = WisdomFile::load(wisdom_path, def.key());
+        WisdomFile::Selection selection =
+            wisdom.select(device.name, device.architecture, problem);
+        out.match = selection.match;
+        out.config = selection.record != nullptr ? selection.record->config
+                                                 : def.space.default_config();
+
+        // 2. Runtime compilation through (simulated) NVRTC.
+        KernelCompiler::Output compiled =
+            KernelCompiler::compile(def, out.config, device, &problem);
+        out.cost.compile_seconds = compiled.compile_seconds;
+
+        // 3. Stage the compiled image as a loaded module. The modeled
+        // cuModuleLoad latency is recorded but charged by the caller (or
+        // folded into ready_time for background builds).
+        out.cost.module_load_seconds = sim::Module::load_seconds(compiled.image.ptx.size());
+        std::vector<sim::KernelImage> images;
+        images.push_back(std::move(compiled.image));
+        out.module = std::make_shared<sim::Module>(std::move(images));
+    } catch (...) {
+        out.error = std::current_exception();
     }
-    last_cold_ = true;
+    return out;
+}
 
-    // 1. Read the wisdom file and select a configuration (§4.5).
+void WisdomKernel::publish(
+    SharedState& state,
+    Instance& instance,
+    BuildOutcome&& outcome,
+    double ready_time) {
+    std::lock_guard<std::mutex> lock(state.mutex);
+    instance.build_cost = outcome.cost;
+    instance.ready_time = ready_time;
+    if (outcome.error != nullptr) {
+        instance.error = outcome.error;
+        instance.state = InstanceState::Failed;
+        state.stats.compiles_failed++;
+    } else {
+        instance.config = std::move(outcome.config);
+        instance.match = outcome.match;
+        instance.module = std::move(outcome.module);
+        instance.state = InstanceState::Ready;
+    }
+    state.stats.compiles_in_flight--;
+    state.cv.notify_all();
+}
+
+void WisdomKernel::compile_ahead(const ProblemSize& problem) {
+    sim::Context& context = sim::Context::current();
+    Key key {context.device().name, problem};
+
+    std::shared_ptr<Instance> instance;
+    {
+        std::lock_guard<std::mutex> lock(state_->mutex);
+        if (state_->instances.count(key) != 0) {
+            return;  // already compiling, ready or failed
+        }
+        instance = std::make_shared<Instance>();
+        instance->background = settings_.async_compile();
+        state_->instances.emplace(std::move(key), instance);
+        state_->stats.compiles_started++;
+        state_->stats.compiles_in_flight++;
+    }
+
     const std::string wisdom_path = settings_.wisdom_path(def_.key());
-    overhead.wisdom_seconds = wisdom_read_seconds(wisdom_path);
-    context.clock().advance(overhead.wisdom_seconds);
+    if (!instance->background) {
+        // Eager synchronous prefetch: build in the caller, charging its
+        // virtual clock exactly like a synchronous cold launch (minus the
+        // launch itself).
+        BuildOutcome outcome = build_instance(def_, wisdom_path, context.device(), problem);
+        context.clock().advance(outcome.cost.wisdom_seconds);
+        if (outcome.error == nullptr) {
+            context.clock().advance(outcome.cost.compile_seconds);
+            context.clock().advance(outcome.cost.module_load_seconds);
+        }
+        publish(*state_, *instance, std::move(outcome), context.clock().now());
+        return;
+    }
 
-    WisdomFile wisdom = WisdomFile::load(wisdom_path, def_.key());
-    WisdomFile::Selection selection =
-        wisdom.select(context.device().name, context.device().architecture, problem);
+    // Force the registries the job will touch into existence before the
+    // pool (see util::compile_pool ordering contract).
+    rtc::register_builtin_kernels();
 
-    Instance instance;
-    instance.match = selection.match;
-    instance.config = selection.record != nullptr ? selection.record->config
-                                                  : def_.space.default_config();
+    // The job is self-contained: it references the shared state block and
+    // value copies, never the kernel or the context, so the kernel may be
+    // destroyed (and the context torn down) while the job is in flight.
+    const double submit_time = context.clock().now();
+    util::compile_pool().submit(
+        [state = state_,
+         instance,
+         def = def_,
+         wisdom_path,
+         device = context.device(),
+         problem,
+         submit_time] {
+            BuildOutcome outcome = build_instance(def, wisdom_path, device, problem);
+            const double ready_time = submit_time + outcome.cost.wisdom_seconds
+                + outcome.cost.compile_seconds + outcome.cost.module_load_seconds;
+            publish(*state, *instance, std::move(outcome), ready_time);
+        });
+}
 
-    // 2. Runtime compilation through (simulated) NVRTC.
-    KernelCompiler::Output compiled =
-        KernelCompiler::compile(def_, instance.config, context.device(), &problem);
-    overhead.compile_seconds = compiled.compile_seconds;
-    context.clock().advance(compiled.compile_seconds);
+bool WisdomKernel::wait_ready(const ProblemSize& problem) {
+    sim::Context& context = sim::Context::current();
+    Key key {context.device().name, problem};
 
-    // 3. Load the compiled image onto the device.
-    double before_load = context.clock().now();
-    instance.module = sim::Module::load(context, std::move(compiled.image));
-    overhead.module_load_seconds = context.clock().now() - before_load;
+    std::shared_ptr<Instance> instance;
+    {
+        std::unique_lock<std::mutex> lock(state_->mutex);
+        auto it = state_->instances.find(key);
+        if (it == state_->instances.end()) {
+            return false;
+        }
+        instance = it->second;
+        state_->cv.wait(lock, [&] { return instance->state != InstanceState::Compiling; });
+    }
+    if (instance->state != InstanceState::Ready) {
+        return false;
+    }
+    // Joining a background build means the caller sat out the remainder of
+    // the modeled build time.
+    if (instance->background) {
+        context.clock().advance_to(instance->ready_time);
+    }
+    return true;
+}
 
-    auto [inserted, ok] = instances_.emplace(std::move(key), std::move(instance));
-    (void) ok;
-    return inserted->second;
+WisdomKernel::InstanceState WisdomKernel::instance_state(const ProblemSize& problem) const {
+    Key key {sim::Context::current().device().name, problem};
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    auto it = state_->instances.find(key);
+    return it == state_->instances.end() ? InstanceState::Uncompiled : it->second->state;
+}
+
+WisdomKernel::Stats WisdomKernel::stats() const {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    return state_->stats;
+}
+
+bool WisdomKernel::last_launch_was_cold() const {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    return state_->last_cold;
+}
+
+OverheadBreakdown WisdomKernel::last_cold_overhead() const {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    return state_->last_cold_overhead;
+}
+
+OverheadBreakdown WisdomKernel::last_launch_overhead() const {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    return state_->last_overhead;
+}
+
+WisdomMatch WisdomKernel::last_match() const {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    return state_->last_match;
+}
+
+std::optional<OverheadBreakdown> WisdomKernel::cached_build_overhead(
+    const ProblemSize& problem) const {
+    Key key {sim::Context::current().device().name, problem};
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    auto it = state_->instances.find(key);
+    if (it == state_->instances.end() || it->second->state == InstanceState::Compiling) {
+        return std::nullopt;
+    }
+    return it->second->build_cost;
+}
+
+void WisdomKernel::clear_cache() {
+    std::unique_lock<std::mutex> lock(state_->mutex);
+    // Let in-flight builds land first: a concurrent launch that is mid-
+    // compile keeps its own shared_ptr and finishes correctly, but the
+    // cache must not be cleared out from under the state transition.
+    state_->cv.wait(lock, [this] { return state_->stats.compiles_in_flight == 0; });
+    state_->instances.clear();
+    state_->captured.clear();
+}
+
+size_t WisdomKernel::cached_instance_count() const {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    return state_->instances.size();
 }
 
 void WisdomKernel::launch_args(const std::vector<KernelArg>& args, sim::Stream* stream) {
@@ -86,23 +282,92 @@ void WisdomKernel::launch_args(const std::vector<KernelArg>& args, sim::Stream* 
     }
 
     const ProblemSize problem = def_.eval_problem_size(args);
+    Key key {context.device().name, problem};
+
+    std::shared_ptr<Instance> instance;
+    bool we_compile = false;
+    {
+        std::lock_guard<std::mutex> lock(state_->mutex);
+        auto it = state_->instances.find(key);
+        if (it == state_->instances.end()) {
+            instance = std::make_shared<Instance>();
+            instance->background = false;
+            state_->instances.emplace(key, instance);
+            state_->stats.compiles_started++;
+            state_->stats.compiles_in_flight++;
+            state_->stats.cold_launches++;
+            we_compile = true;
+        } else {
+            instance = it->second;
+        }
+    }
 
     OverheadBreakdown overhead;
-    Instance& instance = instance_for(problem, context, overhead);
-    const bool cold = last_cold_;
-    last_match_ = instance.match;
+    const bool cold = we_compile;
+
+    if (we_compile) {
+        // Synchronous cold launch: the caller pays wisdom read, NVRTC and
+        // module load on its own (virtual) time, as in Fig. 5.
+        BuildOutcome outcome =
+            build_instance(def_, settings_.wisdom_path(def_.key()), context.device(), problem);
+        context.clock().advance(outcome.cost.wisdom_seconds);
+        overhead.wisdom_seconds = outcome.cost.wisdom_seconds;
+        std::exception_ptr error = outcome.error;
+        if (error == nullptr) {
+            context.clock().advance(outcome.cost.compile_seconds);
+            context.clock().advance(outcome.cost.module_load_seconds);
+            overhead.compile_seconds = outcome.cost.compile_seconds;
+            overhead.module_load_seconds = outcome.cost.module_load_seconds;
+        }
+        publish(*state_, *instance, std::move(outcome), context.clock().now());
+        if (error != nullptr) {
+            std::rethrow_exception(error);
+        }
+    } else {
+        std::unique_lock<std::mutex> lock(state_->mutex);
+        if (instance->state == InstanceState::Compiling) {
+            state_->stats.launch_waits++;
+            state_->cv.wait(
+                lock, [&] { return instance->state != InstanceState::Compiling; });
+        } else if (instance->state == InstanceState::Ready) {
+            state_->stats.warm_hits++;
+        }
+        if (instance->state == InstanceState::Failed) {
+            // Deferred compile error: surfaces on first (and every) use.
+            std::exception_ptr error = instance->error;
+            lock.unlock();
+            std::rethrow_exception(error);
+        }
+    }
+
+    // A background build completes at its modeled ready_time; whatever the
+    // application did not overlap with its own work is charged as wait.
+    if (!cold && instance->background) {
+        double now = context.clock().now();
+        if (instance->ready_time > now) {
+            overhead.wait_seconds = instance->ready_time - now;
+            context.clock().advance_to(instance->ready_time);
+        }
+    }
 
     // Capture hook (§4.2): export the launch once per problem size when the
     // kernel name matches a KERNEL_LAUNCHER_CAPTURE pattern.
     if (settings_.should_capture(def_.key()) || settings_.should_capture(def_.name)) {
-        Key key {context.device().name, problem};
-        if (!captured_[key]) {
+        bool write = false;
+        {
+            std::lock_guard<std::mutex> lock(state_->mutex);
+            bool& captured = state_->captured[key];
+            if (!captured) {
+                captured = true;
+                write = true;
+            }
+        }
+        if (write) {
             write_capture(settings_.capture_dir(), def_, args, problem, context);
-            captured_[key] = true;
         }
     }
 
-    const KernelDef::Geometry geom = def_.eval_geometry(instance.config, args);
+    const KernelDef::Geometry geom = def_.eval_geometry(instance->config, args);
 
     std::vector<void*> slots;
     slots.reserve(args.size());
@@ -112,7 +377,7 @@ void WisdomKernel::launch_args(const std::vector<KernelArg>& args, sim::Stream* 
 
     double before_launch = context.clock().now();
     context.launch(
-        instance.module->get_function(def_.name),
+        instance->module->get_function(def_.name),
         geom.grid,
         geom.block,
         geom.shared_mem_bytes,
@@ -121,8 +386,14 @@ void WisdomKernel::launch_args(const std::vector<KernelArg>& args, sim::Stream* 
         slots.size());
     overhead.launch_seconds = context.clock().now() - before_launch;
 
-    if (cold) {
-        last_overhead_ = overhead;
+    {
+        std::lock_guard<std::mutex> lock(state_->mutex);
+        state_->last_cold = cold;
+        state_->last_match = instance->match;
+        state_->last_overhead = overhead;
+        if (cold) {
+            state_->last_cold_overhead = overhead;
+        }
     }
 }
 

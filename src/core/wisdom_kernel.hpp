@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <optional>
@@ -14,16 +15,19 @@
 
 namespace kl::core {
 
-/// Timing breakdown of a cold (first) launch for one problem size; the
-/// quantities of the paper's Figure 5.
+/// Timing breakdown of the launch-path overhead for one problem size; the
+/// quantities of the paper's Figure 5, extended with the wait component of
+/// the compile-ahead pipeline.
 struct OverheadBreakdown {
     double wisdom_seconds = 0;       ///< reading + matching the wisdom file
     double compile_seconds = 0;      ///< nvrtcCompileProgram
     double module_load_seconds = 0;  ///< cuModuleLoad
+    double wait_seconds = 0;         ///< blocked on an in-flight background compile
     double launch_seconds = 0;       ///< cuLaunchKernel (host-side)
 
     double total() const noexcept {
-        return wisdom_seconds + compile_seconds + module_load_seconds + launch_seconds;
+        return wisdom_seconds + compile_seconds + module_load_seconds + wait_seconds
+            + launch_seconds;
     }
 };
 
@@ -36,10 +40,48 @@ struct OverheadBreakdown {
 /// Subsequent launches for the same problem size reuse the compiled
 /// instance and add only ~3 us of launch overhead.
 ///
+/// Each instance moves through a small state machine:
+///
+///     Uncompiled --(launch)--------> Compiling --> Ready | Failed
+///     Uncompiled --(compile_ahead)-> Compiling --> Ready | Failed
+///
+/// A synchronous launch compiles in the calling thread and pays the full
+/// Figure 5 first-launch cost. compile_ahead() starts the build on the
+/// background worker pool instead (unless KERNEL_LAUNCHER_ASYNC=0), so
+/// the application overlaps compilation with its own work; a launch that
+/// arrives before the instance is ready blocks and is charged only the
+/// *remaining* modeled build time as wait_seconds. A failed background
+/// compile is deferred and rethrown on the next launch of that problem
+/// size.
+///
+/// All public methods are thread-safe; concurrent launches of the same
+/// (device, problem size) trigger exactly one compilation.
+///
 /// When the kernel matches a KERNEL_LAUNCHER_CAPTURE pattern, the first
 /// launch per problem size is captured to disk before execution.
 class WisdomKernel {
   public:
+    /// Lifecycle of one compiled instance.
+    enum class InstanceState {
+        Uncompiled,  ///< never requested
+        Compiling,   ///< build in flight (background or another thread)
+        Ready,       ///< module loaded; launches are warm
+        Failed,      ///< compile error, rethrown on launch
+    };
+
+    /// Per-kernel counters of the compile-ahead pipeline (monotonic except
+    /// compiles_in_flight). Launches partition into cold_launches (the
+    /// caller compiled synchronously), launch_waits (blocked on an
+    /// in-flight compile) and warm_hits (found a ready instance).
+    struct Stats {
+        uint64_t compiles_started = 0;
+        uint64_t compiles_in_flight = 0;
+        uint64_t compiles_failed = 0;
+        uint64_t cold_launches = 0;
+        uint64_t launch_waits = 0;
+        uint64_t warm_hits = 0;
+    };
+
     WisdomKernel(KernelDef def, WisdomSettings settings = WisdomSettings::from_env());
     WisdomKernel(
         const KernelBuilder& builder,
@@ -64,37 +106,56 @@ class WisdomKernel {
     /// Launches with an explicit argument vector and optional stream.
     void launch_args(const std::vector<KernelArg>& args, sim::Stream* stream = nullptr);
 
+    /// Starts building the instance for `problem` on the current device
+    /// without launching. With async compilation enabled (the default),
+    /// the build runs on the background worker pool and this returns
+    /// immediately; with KERNEL_LAUNCHER_ASYNC=0 it compiles eagerly in
+    /// the calling thread. No-op when the instance already exists in any
+    /// state. Compile errors are deferred to the next launch.
+    void compile_ahead(const ProblemSize& problem);
+
+    /// Blocks until the instance for `problem` leaves the Compiling state
+    /// and advances the virtual clock to the build's modeled completion
+    /// time (so a subsequent launch is warm). Returns true when the
+    /// instance is Ready, false when it Failed or was never requested.
+    bool wait_ready(const ProblemSize& problem);
+
+    /// Where the instance for `problem` is in its lifecycle.
+    InstanceState instance_state(const ProblemSize& problem) const;
+
+    /// Snapshot of the per-kernel compile/launch counters.
+    Stats stats() const;
+
     /// Selected configuration for a problem size (selecting, but not
     /// compiling, when not cached yet). Exposed for experiments.
     Config select_config(const ProblemSize& problem) const;
 
     /// How the most recent launch resolved.
-    bool last_launch_was_cold() const noexcept {
-        return last_cold_;
-    }
-    const OverheadBreakdown& last_cold_overhead() const noexcept {
-        return last_overhead_;
-    }
-    WisdomMatch last_match() const noexcept {
-        return last_match_;
-    }
+    bool last_launch_was_cold() const;
+    /// Breakdown of the most recent *cold* launch (the caller compiled).
+    OverheadBreakdown last_cold_overhead() const;
+    /// Breakdown of the most recent launch of any kind; for warm and
+    /// overlapped launches only wait_seconds/launch_seconds are nonzero.
+    OverheadBreakdown last_launch_overhead() const;
+    WisdomMatch last_match() const;
 
-    /// Drops all compiled instances (e.g. after re-tuning).
-    void clear_cache() {
-        instances_.clear();
-        captured_.clear();
-    }
+    /// The modeled build cost (wisdom + compile + load) of the instance
+    /// for `problem`, once it finished compiling; nullopt while
+    /// Uncompiled or Compiling. For background builds this is the cost
+    /// paid off-thread, which a launch never sees directly.
+    std::optional<OverheadBreakdown> cached_build_overhead(const ProblemSize& problem) const;
 
-    size_t cached_instance_count() const noexcept {
-        return instances_.size();
-    }
+    /// Drops all compiled instances (e.g. after re-tuning). Blocks until
+    /// in-flight compiles finish, so it is safe to call while other
+    /// threads are launching.
+    void clear_cache();
+
+    size_t cached_instance_count() const;
 
   private:
-    struct Instance {
-        Config config;
-        std::shared_ptr<sim::Module> module;
-        WisdomMatch match = WisdomMatch::None;
-    };
+    struct Instance;
+    struct SharedState;
+    struct BuildOutcome;
 
     /// Cache key: the combination that §4.5 says triggers recompilation.
     struct Key {
@@ -105,18 +166,25 @@ class WisdomKernel {
         }
     };
 
-    Instance& instance_for(
-        const ProblemSize& problem,
-        sim::Context& context,
-        OverheadBreakdown& overhead);
+    static BuildOutcome build_instance(
+        const KernelDef& def,
+        const std::string& wisdom_path,
+        const sim::DeviceProperties& device,
+        const ProblemSize& problem);
+
+    static void publish(
+        SharedState& state,
+        Instance& instance,
+        BuildOutcome&& outcome,
+        double ready_time);
 
     KernelDef def_;
     WisdomSettings settings_;
-    std::map<Key, Instance> instances_;
-    std::map<Key, bool> captured_;
-    OverheadBreakdown last_overhead_;
-    WisdomMatch last_match_ = WisdomMatch::None;
-    bool last_cold_ = false;
+
+    /// Everything mutable lives behind one shared, mutex-guarded state
+    /// block. Background compile jobs keep it (not the kernel) alive, so
+    /// destroying a WisdomKernel with builds in flight is safe.
+    std::shared_ptr<SharedState> state_;
 };
 
 }  // namespace kl::core

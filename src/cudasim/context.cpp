@@ -12,7 +12,7 @@ namespace {
 constexpr double kPcieBandwidthGbs = 12.0;
 constexpr double kPcieLatencySeconds = 8e-6;
 
-Context* g_current_context = nullptr;
+std::atomic<Context*> g_current_context {nullptr};
 
 }  // namespace
 
@@ -20,14 +20,13 @@ Context::Context(const DeviceProperties& device, ExecutionMode mode):
     device_(device),
     mode_(mode) {
     streams_.push_back(std::make_unique<Stream>(0));
-    previous_current_ = g_current_context;
-    g_current_context = this;
+    previous_current_ = g_current_context.exchange(this, std::memory_order_acq_rel);
 }
 
 Context::~Context() {
-    if (g_current_context == this) {
-        g_current_context = previous_current_;
-    }
+    Context* expected = this;
+    g_current_context.compare_exchange_strong(
+        expected, previous_current_, std::memory_order_acq_rel);
 }
 
 std::unique_ptr<Context> Context::create(const std::string& device_name, ExecutionMode mode) {
@@ -35,28 +34,34 @@ std::unique_ptr<Context> Context::create(const std::string& device_name, Executi
 }
 
 Context& Context::current() {
-    if (g_current_context == nullptr) {
+    Context* current = g_current_context.load(std::memory_order_acquire);
+    if (current == nullptr) {
         throw CudaError("no current simulated CUDA context");
     }
-    return *g_current_context;
+    return *current;
 }
 
 Context* Context::current_or_null() noexcept {
-    return g_current_context;
+    return g_current_context.load(std::memory_order_acquire);
 }
 
 Stream& Context::create_stream() {
+    std::lock_guard<std::mutex> lock(mutex_);
     streams_.push_back(std::make_unique<Stream>(streams_.size()));
     return *streams_.back();
 }
 
 void Context::synchronize() {
+    std::lock_guard<std::mutex> lock(mutex_);
     for (const auto& stream : streams_) {
         clock_.advance_to(stream->busy_until());
     }
 }
 
 DevicePtr Context::malloc(uint64_t size) {
+    // The mutex serializes the capacity check against concurrent mallocs;
+    // the pool itself is internally synchronized.
+    std::lock_guard<std::mutex> lock(mutex_);
     if (memory_.bytes_in_use() + size > device_.global_memory_bytes) {
         throw CudaError(
             "out of device memory: requested " + std::to_string(size) + " bytes, "
@@ -67,6 +72,7 @@ DevicePtr Context::malloc(uint64_t size) {
 }
 
 void Context::free(DevicePtr ptr) {
+    std::lock_guard<std::mutex> lock(mutex_);
     memory_.free(ptr);
 }
 
@@ -166,6 +172,9 @@ const LaunchRecord& Context::launch(
     }
 
     // Host pays the fixed launch cost, the stream the kernel duration.
+    // The mutex keeps the (clock advance, enqueue, record) triple coherent
+    // under concurrent launches.
+    std::lock_guard<std::mutex> lock(mutex_);
     clock_.advance(device_.launch_overhead_us * 1e-6);
     double start = stream.enqueue(timing.seconds, clock_.now());
 
@@ -176,7 +185,7 @@ const LaunchRecord& Context::launch(
     last_launch_.timing = timing;
     last_launch_.start_time = start;
     last_launch_.end_time = start + timing.seconds;
-    launch_count_++;
+    launch_count_.fetch_add(1, std::memory_order_relaxed);
     return last_launch_;
 }
 

@@ -1,6 +1,8 @@
 #pragma once
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -39,6 +41,15 @@ struct LaunchRecord {
 /// A simulated CUDA context: one device, its memory, its streams, and the
 /// virtual clock. Mirrors the CUDA driver's current-context model with an
 /// explicit, exception-safe C++ API.
+///
+/// The launch and memory paths are thread-safe: many host threads may
+/// launch kernels, copy memory and create streams on one context
+/// concurrently (the clock and stream timelines are lock-free; launch
+/// bookkeeping is mutex-guarded). Creating and destroying contexts
+/// themselves is not synchronized — construct them from one thread, as
+/// with real CUDA primary contexts. last_launch() refers to the most
+/// recent launch of *any* thread; read it only when no launch is in
+/// flight.
 class Context {
   public:
     explicit Context(
@@ -83,6 +94,8 @@ class Context {
     }
 
     Stream& default_stream() noexcept {
+        // streams_[0] is created in the constructor and never moves
+        // (unique_ptr target), so this needs no lock.
         return *streams_.front();
     }
 
@@ -122,7 +135,7 @@ class Context {
     }
 
     uint64_t launch_count() const noexcept {
-        return launch_count_;
+        return launch_count_.load(std::memory_order_relaxed);
     }
 
   private:
@@ -131,9 +144,10 @@ class Context {
     MemoryPool memory_;
     SimClock clock_;
     PerfModel perf_model_;
+    mutable std::mutex mutex_;  ///< guards streams_, last_launch_, malloc accounting
     std::vector<std::unique_ptr<Stream>> streams_;
     LaunchRecord last_launch_;
-    uint64_t launch_count_ = 0;
+    std::atomic<uint64_t> launch_count_ {0};
     Context* previous_current_ = nullptr;
 };
 

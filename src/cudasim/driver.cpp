@@ -3,6 +3,7 @@
 #include <cstring>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -47,6 +48,15 @@ DriverState& state() {
     return instance;
 }
 
+/// One big lock over the shim's handle tables: the C driver API mirrors
+/// CUDA's thread-safety contract (any thread may call any function), and
+/// the shim is not a performance path — the C++ objects it wraps have
+/// their own finer-grained synchronization.
+std::mutex& driver_mutex() {
+    static std::mutex instance;
+    return instance;
+}
+
 CUresult fail(CUresult code, std::string message) {
     state().last_error = std::move(message);
     return code;
@@ -76,6 +86,7 @@ CUresult guarded(CUresult failure_code, F&& body) {
 }  // namespace
 
 CUresult cuInit(unsigned /*flags*/) {
+    std::lock_guard<std::mutex> lock(driver_mutex());
     DriverState& s = state();
     if (!s.initialized) {
         s.initialized = true;
@@ -87,6 +98,7 @@ CUresult cuInit(unsigned /*flags*/) {
 }
 
 CUresult cuDeviceGetCount(int* count) {
+    std::lock_guard<std::mutex> lock(driver_mutex());
     if (count == nullptr) {
         return fail(CUDA_ERROR_INVALID_VALUE, "count is null");
     }
@@ -110,6 +122,7 @@ CUresult check_device(CUdevice device) {
 }  // namespace
 
 CUresult cuDeviceGet(CUdevice* device, int ordinal) {
+    std::lock_guard<std::mutex> lock(driver_mutex());
     if (device == nullptr) {
         return fail(CUDA_ERROR_INVALID_VALUE, "device is null");
     }
@@ -121,6 +134,7 @@ CUresult cuDeviceGet(CUdevice* device, int ordinal) {
 }
 
 CUresult cuDeviceGetName(char* name, int length, CUdevice device) {
+    std::lock_guard<std::mutex> lock(driver_mutex());
     if (name == nullptr || length <= 0) {
         return fail(CUDA_ERROR_INVALID_VALUE, "bad name buffer");
     }
@@ -134,6 +148,7 @@ CUresult cuDeviceGetName(char* name, int length, CUdevice device) {
 }
 
 CUresult cuDeviceGetAttribute(int* value, CUdevice_attribute attribute, CUdevice device) {
+    std::lock_guard<std::mutex> lock(driver_mutex());
     if (value == nullptr) {
         return fail(CUDA_ERROR_INVALID_VALUE, "value is null");
     }
@@ -171,6 +186,7 @@ CUresult cuDeviceGetAttribute(int* value, CUdevice_attribute attribute, CUdevice
 }
 
 CUresult cuDeviceTotalMem(size_t* bytes, CUdevice device) {
+    std::lock_guard<std::mutex> lock(driver_mutex());
     if (bytes == nullptr) {
         return fail(CUDA_ERROR_INVALID_VALUE, "bytes is null");
     }
@@ -182,6 +198,7 @@ CUresult cuDeviceTotalMem(size_t* bytes, CUdevice device) {
 }
 
 CUresult cuCtxCreate(CUcontext* context, unsigned /*flags*/, CUdevice device) {
+    std::lock_guard<std::mutex> lock(driver_mutex());
     if (context == nullptr) {
         return fail(CUDA_ERROR_INVALID_VALUE, "context is null");
     }
@@ -200,6 +217,7 @@ CUresult cuCtxCreate(CUcontext* context, unsigned /*flags*/, CUdevice device) {
 }
 
 CUresult cuCtxDestroy(CUcontext context) {
+    std::lock_guard<std::mutex> lock(driver_mutex());
     DriverState& s = state();
     auto it = s.contexts.find(context);
     if (it == s.contexts.end()) {
@@ -214,6 +232,7 @@ CUresult cuCtxDestroy(CUcontext context) {
 }
 
 CUresult cuCtxGetCurrent(CUcontext* context) {
+    std::lock_guard<std::mutex> lock(driver_mutex());
     if (context == nullptr) {
         return fail(CUDA_ERROR_INVALID_VALUE, "context is null");
     }
@@ -222,6 +241,7 @@ CUresult cuCtxGetCurrent(CUcontext* context) {
 }
 
 CUresult cuCtxSynchronize() {
+    std::lock_guard<std::mutex> lock(driver_mutex());
     return guarded(CUDA_ERROR_INVALID_CONTEXT, [&] {
         Context* ctx = current_context();
         if (ctx == nullptr) {
@@ -233,6 +253,7 @@ CUresult cuCtxSynchronize() {
 }
 
 CUresult cuMemAlloc(CUdeviceptr* ptr, size_t size) {
+    std::lock_guard<std::mutex> lock(driver_mutex());
     if (ptr == nullptr) {
         return fail(CUDA_ERROR_INVALID_VALUE, "ptr is null");
     }
@@ -247,6 +268,7 @@ CUresult cuMemAlloc(CUdeviceptr* ptr, size_t size) {
 }
 
 CUresult cuMemFree(CUdeviceptr ptr) {
+    std::lock_guard<std::mutex> lock(driver_mutex());
     return guarded(CUDA_ERROR_INVALID_VALUE, [&] {
         Context* ctx = current_context();
         if (ctx == nullptr) {
@@ -258,6 +280,7 @@ CUresult cuMemFree(CUdeviceptr ptr) {
 }
 
 CUresult cuMemcpyHtoD(CUdeviceptr dst, const void* src, size_t size) {
+    std::lock_guard<std::mutex> lock(driver_mutex());
     return guarded(CUDA_ERROR_INVALID_VALUE, [&] {
         current_context()->memcpy_htod(dst, src, size);
         return CUresult {CUDA_SUCCESS};
@@ -265,6 +288,7 @@ CUresult cuMemcpyHtoD(CUdeviceptr dst, const void* src, size_t size) {
 }
 
 CUresult cuMemcpyDtoH(void* dst, CUdeviceptr src, size_t size) {
+    std::lock_guard<std::mutex> lock(driver_mutex());
     return guarded(CUDA_ERROR_INVALID_VALUE, [&] {
         current_context()->memcpy_dtoh(dst, src, size);
         return CUresult {CUDA_SUCCESS};
@@ -272,6 +296,7 @@ CUresult cuMemcpyDtoH(void* dst, CUdeviceptr src, size_t size) {
 }
 
 CUresult cuMemcpyDtoD(CUdeviceptr dst, CUdeviceptr src, size_t size) {
+    std::lock_guard<std::mutex> lock(driver_mutex());
     return guarded(CUDA_ERROR_INVALID_VALUE, [&] {
         current_context()->memcpy_dtod(dst, src, size);
         return CUresult {CUDA_SUCCESS};
@@ -279,6 +304,7 @@ CUresult cuMemcpyDtoD(CUdeviceptr dst, CUdeviceptr src, size_t size) {
 }
 
 CUresult cuMemsetD8(CUdeviceptr dst, unsigned char value, size_t size) {
+    std::lock_guard<std::mutex> lock(driver_mutex());
     return guarded(CUDA_ERROR_INVALID_VALUE, [&] {
         current_context()->memset_d8(dst, value, size);
         return CUresult {CUDA_SUCCESS};
@@ -286,6 +312,7 @@ CUresult cuMemsetD8(CUdeviceptr dst, unsigned char value, size_t size) {
 }
 
 CUresult cuMemGetInfo(size_t* free_bytes, size_t* total_bytes) {
+    std::lock_guard<std::mutex> lock(driver_mutex());
     if (free_bytes == nullptr || total_bytes == nullptr) {
         return fail(CUDA_ERROR_INVALID_VALUE, "output pointer is null");
     }
@@ -301,6 +328,7 @@ CUresult cuMemGetInfo(size_t* free_bytes, size_t* total_bytes) {
 }
 
 CUresult cuModuleLoadData(CUmodule* module, const void* image) {
+    std::lock_guard<std::mutex> lock(driver_mutex());
     if (module == nullptr || image == nullptr) {
         return fail(CUDA_ERROR_INVALID_VALUE, "module or image is null");
     }
@@ -323,6 +351,7 @@ CUresult cuModuleLoadData(CUmodule* module, const void* image) {
 }
 
 CUresult cuModuleUnload(CUmodule module) {
+    std::lock_guard<std::mutex> lock(driver_mutex());
     DriverState& s = state();
     if (s.modules.erase(module) == 0) {
         return fail(CUDA_ERROR_INVALID_HANDLE, "unknown module handle");
@@ -331,6 +360,7 @@ CUresult cuModuleUnload(CUmodule module) {
 }
 
 CUresult cuModuleGetFunction(CUfunction* function, CUmodule module, const char* name) {
+    std::lock_guard<std::mutex> lock(driver_mutex());
     if (function == nullptr || name == nullptr) {
         return fail(CUDA_ERROR_INVALID_VALUE, "function or name is null");
     }
@@ -351,6 +381,7 @@ CUresult cuModuleGetFunction(CUfunction* function, CUmodule module, const char* 
 }
 
 CUresult cuStreamCreate(CUstream* stream, unsigned /*flags*/) {
+    std::lock_guard<std::mutex> lock(driver_mutex());
     if (stream == nullptr) {
         return fail(CUDA_ERROR_INVALID_VALUE, "stream is null");
     }
@@ -368,6 +399,7 @@ CUresult cuStreamCreate(CUstream* stream, unsigned /*flags*/) {
 }
 
 CUresult cuStreamDestroy(CUstream stream) {
+    std::lock_guard<std::mutex> lock(driver_mutex());
     // Stream 0 is the default stream and is never registered.
     if (stream != 0 && state().streams.erase(stream) == 0) {
         return fail(CUDA_ERROR_INVALID_HANDLE, "unknown stream handle");
@@ -387,6 +419,7 @@ Stream* resolve_stream(CUstream stream) {
 }  // namespace
 
 CUresult cuStreamSynchronize(CUstream stream) {
+    std::lock_guard<std::mutex> lock(driver_mutex());
     return guarded(CUDA_ERROR_INVALID_HANDLE, [&] {
         Stream* s = resolve_stream(stream);
         if (s == nullptr) {
@@ -398,6 +431,7 @@ CUresult cuStreamSynchronize(CUstream stream) {
 }
 
 CUresult cuEventCreate(CUevent* event, unsigned /*flags*/) {
+    std::lock_guard<std::mutex> lock(driver_mutex());
     if (event == nullptr) {
         return fail(CUDA_ERROR_INVALID_VALUE, "event is null");
     }
@@ -409,6 +443,7 @@ CUresult cuEventCreate(CUevent* event, unsigned /*flags*/) {
 }
 
 CUresult cuEventDestroy(CUevent event) {
+    std::lock_guard<std::mutex> lock(driver_mutex());
     if (state().events.erase(event) == 0) {
         return fail(CUDA_ERROR_INVALID_HANDLE, "unknown event handle");
     }
@@ -416,6 +451,7 @@ CUresult cuEventDestroy(CUevent event) {
 }
 
 CUresult cuEventRecord(CUevent event, CUstream stream) {
+    std::lock_guard<std::mutex> lock(driver_mutex());
     auto it = state().events.find(event);
     if (it == state().events.end()) {
         return fail(CUDA_ERROR_INVALID_HANDLE, "unknown event handle");
@@ -430,6 +466,7 @@ CUresult cuEventRecord(CUevent event, CUstream stream) {
 }
 
 CUresult cuEventElapsedTime(float* milliseconds, CUevent start, CUevent end) {
+    std::lock_guard<std::mutex> lock(driver_mutex());
     if (milliseconds == nullptr) {
         return fail(CUDA_ERROR_INVALID_VALUE, "milliseconds is null");
     }
@@ -458,6 +495,7 @@ CUresult cuLaunchKernel(
     CUstream stream,
     void** kernel_params,
     void** extra) {
+    std::lock_guard<std::mutex> lock(driver_mutex());
     if (extra != nullptr) {
         return fail(CUDA_ERROR_INVALID_VALUE, "extra launch parameters unsupported");
     }
@@ -532,10 +570,12 @@ CUresult cuGetErrorName(CUresult error, const char** name) {
 }
 
 const char* cuGetLastErrorMessage() {
+    std::lock_guard<std::mutex> lock(driver_mutex());
     return state().last_error.c_str();
 }
 
 void reset_driver_state_for_testing() {
+    std::lock_guard<std::mutex> lock(driver_mutex());
     DriverState& s = state();
     s.functions.clear();
     s.modules.clear();

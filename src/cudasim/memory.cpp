@@ -14,6 +14,7 @@ DevicePtr MemoryPool::allocate(uint64_t size) {
     if (size == 0) {
         throw CudaError("cuMemAlloc: zero-size allocation");
     }
+    std::lock_guard<std::mutex> lock(mutex_);
     Allocation alloc;
     alloc.base = next_base_;
     alloc.size = size;
@@ -25,6 +26,7 @@ DevicePtr MemoryPool::allocate(uint64_t size) {
 }
 
 void MemoryPool::free(DevicePtr ptr) {
+    std::lock_guard<std::mutex> lock(mutex_);
     auto it = allocations_.find(ptr);
     if (it == allocations_.end()) {
         throw CudaError("cuMemFree: pointer is not an allocation base address");
@@ -51,6 +53,7 @@ MemoryPool::Allocation* MemoryPool::find(DevicePtr ptr) {
 }
 
 uint64_t MemoryPool::remaining_size(DevicePtr ptr) const {
+    std::lock_guard<std::mutex> lock(mutex_);
     const Allocation* alloc = find(ptr);
     if (alloc == nullptr) {
         throw CudaError("invalid device pointer");
@@ -59,6 +62,11 @@ uint64_t MemoryPool::remaining_size(DevicePtr ptr) const {
 }
 
 void MemoryPool::check_range(DevicePtr ptr, uint64_t size) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    check_range_locked(ptr, size);
+}
+
+void MemoryPool::check_range_locked(DevicePtr ptr, uint64_t size) const {
     const Allocation* alloc = find(ptr);
     if (alloc == nullptr) {
         throw CudaError("invalid device pointer");
@@ -72,7 +80,8 @@ void MemoryPool::check_range(DevicePtr ptr, uint64_t size) const {
 }
 
 void* MemoryPool::resolve(DevicePtr ptr, uint64_t size) {
-    check_range(ptr, size);
+    std::lock_guard<std::mutex> lock(mutex_);
+    check_range_locked(ptr, size);
     Allocation* alloc = find(ptr);
     if (alloc->storage.empty()) {
         // First touch: materialize zero-filled, matching our simulated
@@ -83,7 +92,8 @@ void* MemoryPool::resolve(DevicePtr ptr, uint64_t size) {
 }
 
 void* MemoryPool::resolve_if_materialized(DevicePtr ptr, uint64_t size) {
-    check_range(ptr, size);
+    std::lock_guard<std::mutex> lock(mutex_);
+    check_range_locked(ptr, size);
     Allocation* alloc = find(ptr);
     if (alloc->storage.empty()) {
         return nullptr;
@@ -92,6 +102,7 @@ void* MemoryPool::resolve_if_materialized(DevicePtr ptr, uint64_t size) {
 }
 
 bool MemoryPool::is_materialized(DevicePtr ptr) const {
+    std::lock_guard<std::mutex> lock(mutex_);
     const Allocation* alloc = find(ptr);
     if (alloc == nullptr) {
         throw CudaError("invalid device pointer");
@@ -100,6 +111,7 @@ bool MemoryPool::is_materialized(DevicePtr ptr) const {
 }
 
 void MemoryPool::release_all() {
+    std::lock_guard<std::mutex> lock(mutex_);
     allocations_.clear();
     bytes_in_use_ = 0;
 }

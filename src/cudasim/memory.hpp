@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 namespace kl::sim {
@@ -20,6 +21,12 @@ using DevicePtr = uint64_t;
 /// timing-only simulation mode, multi-gigabyte device buffers therefore
 /// cost nothing but bookkeeping — which is what lets the Table 3 capture
 /// experiment handle 512^3 double-precision fields on a small host.
+///
+/// All bookkeeping is internally synchronized, so concurrent launches (and
+/// functional kernel implementations resolving their buffers) may touch
+/// the pool from many threads. Resolved host pointers stay valid across
+/// other threads' allocations: backing storage is sized once at
+/// materialization and allocation nodes are map-stable.
 class MemoryPool {
   public:
     MemoryPool() = default;
@@ -35,10 +42,12 @@ class MemoryPool {
 
     /// Total bytes currently allocated.
     uint64_t bytes_in_use() const {
+        std::lock_guard<std::mutex> lock(mutex_);
         return bytes_in_use_;
     }
 
     size_t allocation_count() const {
+        std::lock_guard<std::mutex> lock(mutex_);
         return allocations_.size();
     }
 
@@ -71,9 +80,14 @@ class MemoryPool {
     };
 
     /// Finds the allocation containing `ptr`; nullptr when unmapped.
+    /// Caller must hold mutex_.
     const Allocation* find(DevicePtr ptr) const;
     Allocation* find(DevicePtr ptr);
 
+    /// check_range without locking; caller must hold mutex_.
+    void check_range_locked(DevicePtr ptr, uint64_t size) const;
+
+    mutable std::mutex mutex_;
     // Keyed by base address; map::upper_bound gives containing-allocation
     // lookup in O(log n).
     std::map<uint64_t, Allocation> allocations_;

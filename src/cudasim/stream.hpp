@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 
 namespace kl::sim {
@@ -9,28 +10,38 @@ namespace kl::sim {
 /// All experiment "wall clock" axes (e.g. the tuning-session plots) are
 /// expressed in this simulated time, which makes runs machine-independent
 /// and bit-reproducible.
+///
+/// The clock is lock-free so that concurrent launch paths (and the
+/// compile-ahead pipeline) can charge time without a global lock; advance
+/// and advance_to are atomic read-modify-write operations.
 class SimClock {
   public:
     double now() const noexcept {
-        return now_;
+        return now_.load(std::memory_order_relaxed);
     }
 
     void advance(double seconds) noexcept {
-        now_ += seconds;
+        double current = now_.load(std::memory_order_relaxed);
+        while (!now_.compare_exchange_weak(
+            current, current + seconds, std::memory_order_relaxed)) {
+        }
     }
 
     void advance_to(double t) noexcept {
-        if (t > now_) {
-            now_ = t;
+        double current = now_.load(std::memory_order_relaxed);
+        while (current < t
+               && !now_.compare_exchange_weak(current, t, std::memory_order_relaxed)) {
         }
     }
 
   private:
-    double now_ = 0;
+    std::atomic<double> now_ {0};
 };
 
 /// A CUDA stream: an in-order work queue with its own completion horizon on
-/// the simulated clock.
+/// the simulated clock. Enqueueing is atomic, so multiple host threads may
+/// submit to the same stream concurrently (their order is then whatever the
+/// race resolves to, exactly as with the real driver).
 class Stream {
   public:
     explicit Stream(uint64_t id = 0) noexcept: id_(id) {}
@@ -41,21 +52,25 @@ class Stream {
 
     /// Time at which all currently-enqueued work completes.
     double busy_until() const noexcept {
-        return busy_until_;
+        return busy_until_.load(std::memory_order_relaxed);
     }
 
     /// Enqueues `duration` seconds of device work; work starts when both
     /// the host has issued it (`host_now`) and prior stream work finished.
     /// Returns the work's start time.
     double enqueue(double duration, double host_now) noexcept {
-        double start = busy_until_ > host_now ? busy_until_ : host_now;
-        busy_until_ = start + duration;
+        double current = busy_until_.load(std::memory_order_relaxed);
+        double start;
+        do {
+            start = current > host_now ? current : host_now;
+        } while (!busy_until_.compare_exchange_weak(
+            current, start + duration, std::memory_order_relaxed));
         return start;
     }
 
   private:
     uint64_t id_;
-    double busy_until_ = 0;
+    std::atomic<double> busy_until_ {0};
 };
 
 /// A CUDA event: captures a position on a stream's timeline.

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <condition_variable>
+#include <mutex>
 
 #include "util/errors.hpp"
 #include "util/strings.hpp"
+#include "util/thread_pool.hpp"
 
 namespace kl::rtc {
 
@@ -280,13 +283,16 @@ CompileResult Program::compile(const std::vector<std::string>& options) const {
                 result.log + file_name_ + ": error: kernel '" + base
                     + "' not found in source");
         }
-        if (!registry.contains(base)) {
+        // Hold a snapshot of the entry: a concurrent add() replacing the
+        // registration must not invalidate this compilation midway.
+        std::shared_ptr<const KernelEntry> entry_ptr = registry.find(base);
+        if (entry_ptr == nullptr) {
             throw CompileError(
                 "compilation failed",
                 result.log + file_name_ + ": error: no device implementation registered for '"
                     + base + "' (simulated NVRTC requires registered kernels)");
         }
-        const KernelEntry& entry = registry.lookup(base);
+        const KernelEntry& entry = *entry_ptr;
 
         if (template_args.size() > entry.template_params.size()) {
             throw CompileError(
@@ -372,6 +378,73 @@ CompileResult Program::compile(const std::vector<std::string>& options) const {
     }
     result.compile_seconds = seconds;
     return result;
+}
+
+struct CompileJob::State {
+    mutable std::mutex mutex;
+    mutable std::condition_variable cv;
+    bool done = false;
+    CompileResult result;
+    std::exception_ptr error;
+};
+
+bool CompileJob::ready() const {
+    if (state_ == nullptr) {
+        return false;
+    }
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    return state_->done;
+}
+
+void CompileJob::wait() const {
+    if (state_ == nullptr) {
+        throw Error("CompileJob::wait on an invalid job");
+    }
+    std::unique_lock<std::mutex> lock(state_->mutex);
+    state_->cv.wait(lock, [this] { return state_->done; });
+}
+
+const CompileResult& CompileJob::get() const {
+    if (state_ == nullptr) {
+        throw Error("CompileJob::get on an invalid job");
+    }
+    std::unique_lock<std::mutex> lock(state_->mutex);
+    state_->cv.wait(lock, [this] { return state_->done; });
+    if (state_->error != nullptr) {
+        std::rethrow_exception(state_->error);
+    }
+    return state_->result;
+}
+
+CompileJob compile_async(
+    Program program,
+    std::vector<std::string> options,
+    util::ThreadPool* pool) {
+    // Force the registries into existence before first touching the pool:
+    // the pool's destructor drains jobs at process exit, and those jobs
+    // must find the (later-destroyed) registries still alive.
+    register_builtin_kernels();
+    util::ThreadPool& workers = pool != nullptr ? *pool : util::compile_pool();
+
+    auto state = std::make_shared<CompileJob::State>();
+    workers.submit(
+        [state, program = std::move(program), options = std::move(options)] {
+            CompileResult result;
+            std::exception_ptr error;
+            try {
+                result = program.compile(options);
+            } catch (...) {
+                error = std::current_exception();
+            }
+            {
+                std::lock_guard<std::mutex> lock(state->mutex);
+                state->result = std::move(result);
+                state->error = error;
+                state->done = true;
+            }
+            state->cv.notify_all();
+        });
+    return CompileJob(std::move(state));
 }
 
 }  // namespace kl::rtc

@@ -13,22 +13,32 @@ void KernelRegistry::add(KernelEntry entry) {
     if (entry.name.empty()) {
         throw Error("kernel registry entry must have a name");
     }
-    entries_[entry.name] = std::move(entry);
+    auto shared = std::make_shared<const KernelEntry>(std::move(entry));
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_[shared->name] = std::move(shared);
 }
 
 bool KernelRegistry::contains(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mutex_);
     return entries_.count(name) != 0;
 }
 
-const KernelEntry& KernelRegistry::lookup(const std::string& name) const {
+std::shared_ptr<const KernelEntry> KernelRegistry::find(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mutex_);
     auto it = entries_.find(name);
-    if (it == entries_.end()) {
+    return it == entries_.end() ? nullptr : it->second;
+}
+
+const KernelEntry& KernelRegistry::lookup(const std::string& name) const {
+    std::shared_ptr<const KernelEntry> entry = find(name);
+    if (entry == nullptr) {
         throw Error("no kernel implementation registered under name '" + name + "'");
     }
-    return it->second;
+    return *entry;
 }
 
 std::vector<std::string> KernelRegistry::names() const {
+    std::lock_guard<std::mutex> lock(mutex_);
     std::vector<std::string> out;
     out.reserve(entries_.size());
     for (const auto& [name, entry] : entries_) {

@@ -2,6 +2,8 @@
 
 #include <functional>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -44,7 +46,11 @@ struct KernelEntry {
     std::function<sim::KernelImage::Impl(const sim::ConstantMap&)> make_impl;
 };
 
-/// Process-global kernel implementation catalog.
+/// Process-global kernel implementation catalog. Thread-safe: background
+/// compile jobs look kernels up while tests or applications register new
+/// entries. Entries are immutable once registered; `add` of an existing
+/// name installs a fresh entry, and holders of the old one (via find())
+/// keep a valid snapshot.
 class KernelRegistry {
   public:
     static KernelRegistry& global();
@@ -54,13 +60,20 @@ class KernelRegistry {
 
     bool contains(const std::string& name) const;
 
-    /// Throws CompileError-style kl::Error when the kernel is unknown.
+    /// The entry registered under `name`, or nullptr. The returned pointer
+    /// stays valid even if the entry is concurrently replaced.
+    std::shared_ptr<const KernelEntry> find(const std::string& name) const;
+
+    /// Throws kl::Error when the kernel is unknown. The reference is valid
+    /// until the entry is replaced by another add() of the same name;
+    /// concurrent compilations should prefer find().
     const KernelEntry& lookup(const std::string& name) const;
 
     std::vector<std::string> names() const;
 
   private:
-    std::map<std::string, KernelEntry> entries_;
+    mutable std::mutex mutex_;
+    std::map<std::string, std::shared_ptr<const KernelEntry>> entries_;
 };
 
 /// Registers the built-in demonstration kernels (vector_add, saxpy,
