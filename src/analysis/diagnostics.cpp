@@ -1,0 +1,68 @@
+#include "analysis/diagnostics.hpp"
+
+namespace kl::analysis {
+
+const char* severity_name(Severity severity) noexcept {
+    switch (severity) {
+        case Severity::Note:
+            return "note";
+        case Severity::Warning:
+            return "warning";
+        case Severity::Error:
+            return "error";
+    }
+    return "?";
+}
+
+std::string Diagnostic::render() const {
+    std::string out;
+    if (!location.file.empty()) {
+        out += location.file;
+        if (location.line > 0) {
+            out += ":" + std::to_string(location.line);
+        }
+        out += ": ";
+    }
+    out += severity_name(severity);
+    out += ": ";
+    if (!code.empty()) {
+        out += code + ": ";
+    }
+    out += message;
+    if (!kernel.empty()) {
+        out += " [kernel '" + kernel + "']";
+    }
+    return out;
+}
+
+bool has_errors(const std::vector<Diagnostic>& diagnostics) noexcept {
+    for (const Diagnostic& d : diagnostics) {
+        if (d.severity == Severity::Error) {
+            return true;
+        }
+    }
+    return false;
+}
+
+size_t count_severity(
+    const std::vector<Diagnostic>& diagnostics,
+    Severity severity) noexcept {
+    size_t n = 0;
+    for (const Diagnostic& d : diagnostics) {
+        if (d.severity == severity) {
+            n++;
+        }
+    }
+    return n;
+}
+
+std::string render_all(const std::vector<Diagnostic>& diagnostics) {
+    std::string out;
+    for (const Diagnostic& d : diagnostics) {
+        out += d.render();
+        out += '\n';
+    }
+    return out;
+}
+
+}  // namespace kl::analysis

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace kl::analysis {
+
+/// Severity of a static-analysis finding. Notes are informational (the
+/// analysis could not prove the problem, typically because of unresolved
+/// headers); warnings are likely mistakes; errors are specifications that
+/// cannot launch correctly on any path.
+enum class Severity { Note, Warning, Error };
+
+const char* severity_name(Severity severity) noexcept;
+
+/// Where in the kernel specification a finding anchors: the source file
+/// (or virtual file name of an inline source, or a wisdom-file path) and a
+/// 1-based line. Line 0 means "whole file".
+struct SourceLocation {
+    std::string file;
+    int line = 0;
+};
+
+/// One structured finding of the kl-lint static analysis.
+///
+/// Codes are stable identifiers, documented in docs/LINTING.md:
+///   KL000  definition cannot be parsed (malformed pragma/expression/source)
+///   KL001  configuration space is empty or the default config is excluded
+///   KL002  tunable defined but never referenced / reference to an
+///          undeclared tunable
+///   KL003  configuration violates device resource limits
+///          (threads per block, shared memory, __launch_bounds__/registers)
+///   KL004  launch arguments inconsistent with the parsed kernel signature
+///   KL005  wisdom record outside the declared space / unknown device
+struct Diagnostic {
+    std::string code;  ///< "KL001" ... "KL005"
+    Severity severity = Severity::Warning;
+    std::string message;
+    std::string kernel;  ///< kernel (or tuning-key) the finding concerns
+    SourceLocation location;
+
+    /// Compiler-style one-line rendering:
+    ///   advec_u.cu:33: warning: KL002: tunable 'TILE_FACTOR_X' is never
+    ///   referenced [kernel 'advec_u']
+    std::string render() const;
+};
+
+bool has_errors(const std::vector<Diagnostic>& diagnostics) noexcept;
+size_t count_severity(const std::vector<Diagnostic>& diagnostics, Severity severity) noexcept;
+
+/// Renders one diagnostic per line (trailing newline included when the
+/// list is non-empty).
+std::string render_all(const std::vector<Diagnostic>& diagnostics);
+
+}  // namespace kl::analysis

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+#include "core/kernel_def.hpp"
+#include "core/wisdom.hpp"
+#include "cudasim/device_props.hpp"
+
+namespace kl::analysis {
+
+/// Tuning knobs of the static analysis. The defaults are sized so that
+/// registration-time linting stays cheap even for the paper's 7.7M-point
+/// stencil spaces: small spaces are checked exhaustively, large ones by
+/// deterministic sampling.
+struct LintOptions {
+    /// Spaces with at most this many cartesian points are enumerated
+    /// exhaustively for the KL001 emptiness check.
+    uint64_t exhaustive_limit = 4096;
+
+    /// Number of random points drawn from larger spaces.
+    int sample_count = 512;
+
+    /// Upper bound on the configurations fed to the per-device resource
+    /// checks (KL003); a subset of the KL001 scan.
+    size_t device_scan_limit = 256;
+
+    /// Devices to check resource limits against. Empty means every device
+    /// in the global DeviceRegistry.
+    std::vector<sim::DeviceProperties> devices;
+
+    /// Value substituted for scalar kernel arguments referenced by
+    /// expressions (problem_size(arg3), ...) during analysis.
+    int64_t nominal_extent = 1 << 20;
+};
+
+/// Statically analyzes one kernel definition: KL001 (space emptiness),
+/// KL002 (tunable/source cross-references), KL003 (device resource
+/// limits) and KL004 (expressions and output declarations vs. the parsed
+/// kernel signature). Never throws for defects in the definition; every
+/// finding becomes a Diagnostic. KL000 is emitted when part of the
+/// analysis is impossible (unreadable source, unevaluable expressions).
+std::vector<Diagnostic> lint_kernel(
+    const core::KernelDef& def,
+    const LintOptions& options = {});
+
+/// Checks a wisdom file against the declared space (KL005): every record
+/// must assign exactly the declared parameters, with allowed values,
+/// satisfy the restrictions, and name a known device. `path` is used for
+/// diagnostic locations only.
+std::vector<Diagnostic> lint_wisdom(
+    const core::KernelDef& def,
+    const core::WisdomFile& wisdom,
+    const std::string& path,
+    const LintOptions& options = {});
+
+/// Checks a concrete launch-argument vector against the kernel signature
+/// parsed from the source (KL004 at launch time): arity, buffer vs.
+/// scalar, and scalar-type compatibility. Returns no diagnostics when the
+/// source or signature is unavailable.
+std::vector<Diagnostic> lint_launch_args(
+    const core::KernelDef& def,
+    const std::vector<core::KernelArg>& args);
+
+/// Lints a `#pragma kernel_launcher`-annotated source: malformed
+/// annotations become KL000 diagnostics (instead of the DefinitionError
+/// thrown by the pragma parser), well-formed ones are passed through
+/// lint_kernel.
+std::vector<Diagnostic> lint_annotated_source(
+    const std::string& kernel_name,
+    const core::KernelSource& source,
+    const LintOptions& options = {});
+
+/// The registration-time entry point used by WisdomKernel: lint_kernel
+/// plus, when the kernel's wisdom file exists under `settings`, KL005
+/// checks of that file.
+std::vector<Diagnostic> lint_registration(
+    const core::KernelDef& def,
+    const core::WisdomSettings& settings,
+    const LintOptions& options = {});
+
+/// Applies a lint mode to a set of findings: Off ignores them, Warn
+/// renders warnings and errors to stderr, Error additionally throws
+/// kl::DefinitionError (listing every error-severity finding) when at
+/// least one error is present. `subject` names the kernel in the thrown
+/// message.
+void enforce(
+    const std::vector<Diagnostic>& diagnostics,
+    core::LintMode mode,
+    const std::string& subject);
+
+}  // namespace kl::analysis

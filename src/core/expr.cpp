@@ -265,6 +265,14 @@ void Expr::collect_params(std::set<std::string>& out) const {
     });
 }
 
+void Expr::collect_args(std::set<size_t>& out) const {
+    walk(*node_, [&](const Node& n) {
+        if (n.kind == Node::Kind::Arg) {
+            out.insert(n.index);
+        }
+    });
+}
+
 std::optional<size_t> Expr::max_arg_index() const {
     std::optional<size_t> result;
     walk(*node_, [&](const Node& n) {

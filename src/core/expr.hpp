@@ -95,6 +95,9 @@ class Expr {
     /// Adds every referenced parameter name to `out`.
     void collect_params(std::set<std::string>& out) const;
 
+    /// Adds every referenced kernel-argument index to `out`.
+    void collect_args(std::set<size_t>& out) const;
+
     /// Largest argument index referenced, or nullopt when none.
     std::optional<size_t> max_arg_index() const;
 

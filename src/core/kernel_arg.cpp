@@ -54,6 +54,55 @@ std::optional<ScalarType> scalar_from_name(const std::string& name) noexcept {
     return std::nullopt;
 }
 
+std::optional<ScalarType> scalar_from_cuda_type(const std::string& cuda_type) noexcept {
+    static constexpr std::pair<const char*, ScalarType> table[] = {
+        {"float", ScalarType::F32},
+        {"double", ScalarType::F64},
+        {"char", ScalarType::I8},
+        {"signed char", ScalarType::I8},
+        {"int8_t", ScalarType::I8},
+        {"int", ScalarType::I32},
+        {"signed int", ScalarType::I32},
+        {"int32_t", ScalarType::I32},
+        {"long", ScalarType::I64},
+        {"long long", ScalarType::I64},
+        {"long int", ScalarType::I64},
+        {"int64_t", ScalarType::I64},
+        {"ptrdiff_t", ScalarType::I64},
+        {"unsigned", ScalarType::U32},
+        {"unsigned int", ScalarType::U32},
+        {"uint32_t", ScalarType::U32},
+        {"unsigned long", ScalarType::U64},
+        {"unsigned long long", ScalarType::U64},
+        {"uint64_t", ScalarType::U64},
+        {"size_t", ScalarType::U64},
+    };
+    for (const auto& [text, type] : table) {
+        if (cuda_type == text) {
+            return type;
+        }
+    }
+    return std::nullopt;
+}
+
+bool scalar_matches_cuda_type(ScalarType actual, const std::string& cuda_type) noexcept {
+    std::optional<ScalarType> expected = scalar_from_cuda_type(cuda_type);
+    if (!expected.has_value()) {
+        return true;  // template/dependent/unmodeled type: cannot judge
+    }
+    if (*expected == actual) {
+        return true;
+    }
+    // Same-width same-kind integer conversions are benign in practice
+    // (the launcher copies the bytes); flag only width or kind mismatches.
+    auto is_integer = [](ScalarType t) {
+        return t == ScalarType::I8 || t == ScalarType::I32 || t == ScalarType::I64
+            || t == ScalarType::U32 || t == ScalarType::U64;
+    };
+    return is_integer(*expected) && is_integer(actual)
+        && scalar_size(*expected) == scalar_size(actual);
+}
+
 sim::DevicePtr KernelArg::device_ptr() const {
     if (!is_buffer_) {
         throw Error("kernel argument is not a buffer");

@@ -21,6 +21,17 @@ size_t scalar_size(ScalarType type) noexcept;
 const char* scalar_name(ScalarType type) noexcept;
 std::optional<ScalarType> scalar_from_name(const std::string& name) noexcept;
 
+/// The ScalarType a CUDA C++ type spelling maps to ("float" -> F32,
+/// "long long" -> I64, ...). Returns nullopt for type names the launcher
+/// does not model (template parameters like "real", structs), which
+/// argument checking treats as compatible with anything.
+std::optional<ScalarType> scalar_from_cuda_type(const std::string& cuda_type) noexcept;
+
+/// True when passing a host value of ScalarType `actual` for a kernel
+/// parameter declared as `cuda_type` is well-typed. Unknown/dependent type
+/// spellings are permissive (return true).
+bool scalar_matches_cuda_type(ScalarType actual, const std::string& cuda_type) noexcept;
+
 template<typename T>
 constexpr ScalarType scalar_type_of() {
     if constexpr (std::is_same_v<T, int8_t>) {

@@ -1,8 +1,12 @@
 #include "core/kernel_def.hpp"
 
+#include <cctype>
+
+#include "nvrtcsim/lexer.hpp"
 #include "nvrtcsim/nvrtc.hpp"
 #include "util/errors.hpp"
 #include "util/fs.hpp"
+#include "util/strings.hpp"
 
 namespace kl::core {
 
@@ -32,6 +36,152 @@ json::Value KernelSource::to_json() const {
 
 KernelSource KernelSource::from_json(const json::Value& v) {
     return inline_source(v.get_string_or("file", "<capture>"), v["content"].as_string());
+}
+
+std::string KernelParam::to_string() const {
+    std::string out = type.empty() ? "?" : type;
+    if (is_pointer) {
+        out += "*";
+    }
+    if (!name.empty()) {
+        out += " " + name;
+    }
+    return out;
+}
+
+namespace {
+
+/// Splits a parameter list at top-level commas (angle brackets and
+/// parentheses nest).
+std::vector<std::string> split_params(std::string_view list) {
+    std::vector<std::string> out;
+    int depth = 0;
+    std::string current;
+    for (char c : list) {
+        if (c == '(' || c == '<' || c == '[') {
+            depth++;
+        } else if (c == ')' || c == '>' || c == ']') {
+            depth--;
+        }
+        if (c == ',' && depth == 0) {
+            out.emplace_back(trim(current));
+            current.clear();
+        } else {
+            current += c;
+        }
+    }
+    std::string_view last = trim(current);
+    if (!last.empty()) {
+        out.emplace_back(last);
+    }
+    return out;
+}
+
+/// Parses one parameter declaration, e.g. "const real *__restrict__ ut" or
+/// "int n". Qualifiers are dropped; the last identifier that is not part of
+/// the type is the parameter name.
+KernelParam parse_param(std::string_view decl) {
+    KernelParam param;
+    std::vector<std::string> words;
+    std::string current;
+    for (char c : decl) {
+        if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+            current += c;
+        } else {
+            if (!current.empty()) {
+                words.push_back(current);
+                current.clear();
+            }
+            if (c == '*' || c == '[') {
+                param.is_pointer = true;
+            }
+        }
+    }
+    if (!current.empty()) {
+        words.push_back(current);
+    }
+    std::vector<std::string> meaningful;
+    for (const std::string& w : words) {
+        if (w == "const" || w == "volatile" || w == "__restrict__" || w == "restrict"
+            || w == "struct") {
+            continue;
+        }
+        meaningful.push_back(w);
+    }
+    if (meaningful.empty()) {
+        return param;
+    }
+    if (meaningful.size() == 1) {
+        // "float" (unnamed) — treat the sole word as the type.
+        param.type = meaningful[0];
+        return param;
+    }
+    param.name = meaningful.back();
+    meaningful.pop_back();
+    param.type = join(meaningful, " ");
+    return param;
+}
+
+}  // namespace
+
+std::optional<std::vector<KernelParam>> parse_kernel_signature(
+    const std::string& source,
+    const std::string& kernel_name) {
+    const std::string code = rtc::strip_comments(source);
+
+    // Find the kernel name as a whole token that is followed by '(' and
+    // preceded (somewhere earlier) by __global__.
+    size_t global_pos = code.find("__global__");
+    if (global_pos == std::string::npos) {
+        return std::nullopt;
+    }
+    size_t search = 0;
+    while ((search = code.find(kernel_name, search)) != std::string::npos) {
+        const bool boundary_before = search == 0
+            || (!std::isalnum(static_cast<unsigned char>(code[search - 1]))
+                && code[search - 1] != '_');
+        size_t after = search + kernel_name.size();
+        const bool boundary_after = after >= code.size()
+            || (!std::isalnum(static_cast<unsigned char>(code[after])) && code[after] != '_');
+        if (!boundary_before || !boundary_after || search < global_pos) {
+            search = after;
+            continue;
+        }
+        // Skip whitespace to the parameter list.
+        size_t open = after;
+        while (open < code.size()
+               && std::isspace(static_cast<unsigned char>(code[open]))) {
+            open++;
+        }
+        if (open >= code.size() || code[open] != '(') {
+            search = after;
+            continue;
+        }
+        int depth = 0;
+        size_t close = open;
+        for (; close < code.size(); close++) {
+            if (code[close] == '(') {
+                depth++;
+            } else if (code[close] == ')') {
+                depth--;
+                if (depth == 0) {
+                    break;
+                }
+            }
+        }
+        if (depth != 0) {
+            return std::nullopt;
+        }
+        std::string_view list(code.data() + open + 1, close - open - 1);
+        std::vector<KernelParam> params;
+        if (!trim(list).empty()) {
+            for (const std::string& decl : split_params(list)) {
+                params.push_back(parse_param(decl));
+            }
+        }
+        return params;
+    }
+    return std::nullopt;
 }
 
 namespace {
@@ -234,6 +384,21 @@ KernelDef::Geometry KernelDef::eval_geometry(
     return geom;
 }
 
+namespace {
+
+/// "kernel 'name' (file.cu): " prefix so every definition-time error names
+/// the kernel and the source it belongs to.
+std::string definition_context(const KernelDef& def) {
+    std::string out = "kernel '" + def.name + "'";
+    if (!def.source.file_name().empty()) {
+        out += " (" + def.source.file_name() + ")";
+    }
+    out += ": ";
+    return out;
+}
+
+}  // namespace
+
 KernelBuilder::KernelBuilder(std::string kernel_name, KernelSource source) {
     if (kernel_name.empty()) {
         throw DefinitionError("kernel name must not be empty");
@@ -243,15 +408,27 @@ KernelBuilder::KernelBuilder(std::string kernel_name, KernelSource source) {
 }
 
 Expr KernelBuilder::tune(std::string name, std::vector<Value> values) {
-    return def_.space.tune(std::move(name), std::move(values));
+    try {
+        return def_.space.tune(std::move(name), std::move(values));
+    } catch (const Error& e) {
+        throw DefinitionError(definition_context(def_) + e.what());
+    }
 }
 
 Expr KernelBuilder::tune(std::string name, std::vector<Value> values, Value default_value) {
-    return def_.space.tune(std::move(name), std::move(values), std::move(default_value));
+    try {
+        return def_.space.tune(std::move(name), std::move(values), std::move(default_value));
+    } catch (const Error& e) {
+        throw DefinitionError(definition_context(def_) + e.what());
+    }
 }
 
 KernelBuilder& KernelBuilder::restriction(Expr condition) {
-    def_.space.restrict(std::move(condition));
+    try {
+        def_.space.restrict(std::move(condition));
+    } catch (const Error& e) {
+        throw DefinitionError(definition_context(def_) + e.what());
+    }
     return *this;
 }
 
@@ -290,7 +467,9 @@ KernelBuilder& KernelBuilder::template_arg(Expr expr) {
 KernelBuilder& KernelBuilder::define(std::string name, Expr value) {
     for (const auto& [existing, expr] : def_.defines) {
         if (existing == name) {
-            throw DefinitionError("duplicate preprocessor definition '" + name + "'");
+            throw DefinitionError(
+                definition_context(def_) + "duplicate preprocessor definition '" + name
+                + "'");
         }
     }
     def_.defines.emplace_back(std::move(name), std::move(value));
@@ -345,7 +524,13 @@ KernelCompiler::Output KernelCompiler::compile(
         options.push_back(flag);
     }
 
-    rtc::Program program(def.name, def.source.read(), def.source.file_name());
+    std::string source_text;
+    try {
+        source_text = def.source.read();
+    } catch (const IoError& e) {
+        throw IoError(definition_context(def) + e.what());
+    }
+    rtc::Program program(def.name, std::move(source_text), def.source.file_name());
     if (!def.template_args.empty()) {
         std::string expression = def.name + "<";
         for (size_t i = 0; i < def.template_args.size(); i++) {

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <array>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -48,6 +49,25 @@ class KernelSource {
     std::string content_;
     bool has_content_ = false;
 };
+
+/// One formal parameter of a `__global__` kernel, as parsed from the CUDA
+/// source text. The launcher uses this to check launch-argument vectors
+/// (arity, buffer vs. scalar, scalar type) before the driver does.
+struct KernelParam {
+    std::string type;  ///< type spelling without qualifiers, e.g. "float" or "real"
+    std::string name;  ///< parameter name; may be empty for unnamed parameters
+    bool is_pointer = false;
+
+    std::string to_string() const;
+};
+
+/// Parses the parameter list of `__global__ ... name(...)` out of a CUDA
+/// source (comments stripped, `__launch_bounds__(...)` skipped). Returns
+/// nullopt when no such declaration exists; template type parameters are
+/// reported with their dependent spelling (e.g. "real").
+std::optional<std::vector<KernelParam>> parse_kernel_signature(
+    const std::string& source,
+    const std::string& kernel_name);
 
 /// Immutable snapshot of a tunable kernel definition (paper §4.1): the
 /// configuration space, the compilation specification, and the launch

@@ -168,6 +168,34 @@ void WisdomFile::save(const std::string& path) const {
     json::write_file(path, to_json());
 }
 
+const char* lint_mode_name(LintMode mode) noexcept {
+    switch (mode) {
+        case LintMode::Off:
+            return "off";
+        case LintMode::Warn:
+            return "warn";
+        case LintMode::Error:
+            return "error";
+    }
+    return "?";
+}
+
+LintMode parse_lint_mode(const std::string& text) {
+    std::string value = to_lower(trim(text));
+    if (value == "off" || value == "0" || value == "false" || value == "no"
+        || value == "none") {
+        return LintMode::Off;
+    }
+    if (value == "warn" || value == "warning" || value == "on" || value.empty()) {
+        return LintMode::Warn;
+    }
+    if (value == "error" || value == "strict") {
+        return LintMode::Error;
+    }
+    throw Error(
+        "invalid KERNEL_LAUNCHER_LINT value '" + text + "' (expected off, warn or error)");
+}
+
 WisdomSettings WisdomSettings::from_env() {
     WisdomSettings settings;
     if (auto dir = get_env("KERNEL_LAUNCHER_WISDOM")) {
@@ -186,6 +214,9 @@ WisdomSettings WisdomSettings::from_env() {
         }
         settings.async_compile_ =
             !(value == "0" || value == "false" || value == "off" || value == "no");
+    }
+    if (auto lint = get_env("KERNEL_LAUNCHER_LINT")) {
+        settings.lint_mode_ = parse_lint_mode(*lint);
     }
     return settings;
 }

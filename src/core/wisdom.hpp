@@ -87,11 +87,25 @@ class WisdomFile {
     std::vector<WisdomRecord> records_;
 };
 
+/// How registration-time static analysis (kl-lint) reacts to findings.
+enum class LintMode {
+    Off,   ///< skip analysis entirely (pre-lint behavior)
+    Warn,  ///< render diagnostics to stderr, continue
+    Error, ///< error-severity diagnostics abort registration
+};
+
+const char* lint_mode_name(LintMode mode) noexcept;
+
+/// Parses "off"/"warn"/"error" (case-insensitive; "0"/"false" mean off).
+/// Throws kl::Error on anything else.
+LintMode parse_lint_mode(const std::string& text);
+
 /// Process-level settings: where wisdom files and captures live, which
-/// kernels to capture, and whether compile-ahead requests run in the
-/// background. Read from the environment (KERNEL_LAUNCHER_WISDOM,
-/// KERNEL_LAUNCHER_CAPTURE, KERNEL_LAUNCHER_CAPTURE_DIR,
-/// KERNEL_LAUNCHER_ASYNC) or constructed explicitly by tests and
+/// kernels to capture, whether compile-ahead requests run in the
+/// background, and how strict registration-time linting is. Read from the
+/// environment (KERNEL_LAUNCHER_WISDOM, KERNEL_LAUNCHER_CAPTURE,
+/// KERNEL_LAUNCHER_CAPTURE_DIR, KERNEL_LAUNCHER_ASYNC,
+/// KERNEL_LAUNCHER_LINT) or constructed explicitly by tests and
 /// experiments.
 class WisdomSettings {
   public:
@@ -121,6 +135,12 @@ class WisdomSettings {
         async_compile_ = enabled;
         return *this;
     }
+    /// How strict registration-time linting is (KERNEL_LAUNCHER_LINT;
+    /// default warn: diagnostics are rendered to stderr but never fatal).
+    WisdomSettings& lint_mode(LintMode mode) {
+        lint_mode_ = mode;
+        return *this;
+    }
 
     const std::string& wisdom_dir() const noexcept {
         return wisdom_dir_;
@@ -134,6 +154,9 @@ class WisdomSettings {
     bool async_compile() const noexcept {
         return async_compile_;
     }
+    LintMode lint_mode() const noexcept {
+        return lint_mode_;
+    }
 
     /// Path of the wisdom file for a kernel: <wisdom_dir>/<kernel>.wisdom.json
     std::string wisdom_path(const std::string& kernel_name) const;
@@ -146,6 +169,7 @@ class WisdomSettings {
     std::string capture_dir_ = ".";
     std::vector<std::string> capture_patterns_;
     bool async_compile_ = true;
+    LintMode lint_mode_ = LintMode::Warn;
 };
 
 /// Builds the provenance object recorded with each wisdom record.

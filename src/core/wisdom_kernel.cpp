@@ -3,6 +3,7 @@
 #include <condition_variable>
 #include <mutex>
 
+#include "analysis/lint.hpp"
 #include "nvrtcsim/registry.hpp"
 #include "util/errors.hpp"
 #include "util/fs.hpp"
@@ -50,6 +51,10 @@ struct WisdomKernel::SharedState {
     OverheadBreakdown last_cold_overhead;
     WisdomMatch last_match = WisdomMatch::None;
     bool last_cold = false;
+    /// Launch arguments are checked against the parsed kernel signature
+    /// once, on the first launch that passes the check (so an Error-mode
+    /// rejection keeps rejecting).
+    bool args_linted = false;
 };
 
 /// Result of one build attempt, produced without touching any context
@@ -65,7 +70,18 @@ struct WisdomKernel::BuildOutcome {
 WisdomKernel::WisdomKernel(KernelDef def, WisdomSettings settings):
     def_(std::move(def)),
     settings_(std::move(settings)),
-    state_(std::make_shared<SharedState>()) {}
+    state_(std::make_shared<SharedState>()) {
+    // Registration-time static analysis (kl-lint). In the default Warn
+    // mode findings go to stderr and registration proceeds; under
+    // KERNEL_LAUNCHER_LINT=error a defective definition fails here, at
+    // the registration site, instead of at the first launch.
+    if (settings_.lint_mode() != LintMode::Off) {
+        analysis::enforce(
+            analysis::lint_registration(def_, settings_),
+            settings_.lint_mode(),
+            def_.name);
+    }
+}
 
 WisdomKernel::WisdomKernel(const KernelBuilder& builder, WisdomSettings settings):
     WisdomKernel(builder.build(), std::move(settings)) {}
@@ -279,6 +295,22 @@ void WisdomKernel::launch_args(const std::vector<KernelArg>& args, sim::Stream* 
     sim::Context& context = sim::Context::current();
     if (stream == nullptr) {
         stream = &context.default_stream();
+    }
+
+    if (settings_.lint_mode() != LintMode::Off) {
+        bool check;
+        {
+            std::lock_guard<std::mutex> lock(state_->mutex);
+            check = !state_->args_linted;
+        }
+        if (check) {
+            analysis::enforce(
+                analysis::lint_launch_args(def_, args),
+                settings_.lint_mode(),
+                def_.name);
+            std::lock_guard<std::mutex> lock(state_->mutex);
+            state_->args_linted = true;
+        }
     }
 
     const ProblemSize problem = def_.eval_problem_size(args);

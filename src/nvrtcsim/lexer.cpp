@@ -1,0 +1,166 @@
+#include "nvrtcsim/lexer.hpp"
+
+#include <cctype>
+
+namespace kl::rtc {
+
+namespace {
+
+bool ident_start(char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool ident_char(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+std::string strip_comments(const std::string& source) {
+    std::string out = source;
+    enum class State { Code, LineComment, BlockComment, String, Char };
+    State state = State::Code;
+    for (size_t i = 0; i < out.size(); i++) {
+        char c = out[i];
+        char next = i + 1 < out.size() ? out[i + 1] : '\0';
+        switch (state) {
+            case State::Code:
+                if (c == '/' && next == '/') {
+                    state = State::LineComment;
+                    out[i] = ' ';
+                } else if (c == '/' && next == '*') {
+                    state = State::BlockComment;
+                    out[i] = ' ';
+                } else if (c == '"') {
+                    state = State::String;
+                    out[i] = ' ';
+                } else if (c == '\'') {
+                    state = State::Char;
+                    out[i] = ' ';
+                }
+                break;
+            case State::LineComment:
+                if (c == '\n') {
+                    state = State::Code;
+                } else {
+                    out[i] = ' ';
+                }
+                break;
+            case State::BlockComment:
+                if (c == '*' && next == '/') {
+                    out[i] = ' ';
+                    out[i + 1] = ' ';
+                    i++;
+                    state = State::Code;
+                } else if (c != '\n') {
+                    out[i] = ' ';
+                }
+                break;
+            case State::String:
+                if (c == '\\') {
+                    out[i] = ' ';
+                    if (next != '\n' && next != '\0') {
+                        out[i + 1] = ' ';
+                        i++;
+                    }
+                } else if (c == '"') {
+                    state = State::Code;
+                    out[i] = ' ';
+                } else if (c != '\n') {
+                    out[i] = ' ';
+                }
+                break;
+            case State::Char:
+                if (c == '\\') {
+                    out[i] = ' ';
+                    if (next != '\n' && next != '\0') {
+                        out[i + 1] = ' ';
+                        i++;
+                    }
+                } else if (c == '\'') {
+                    state = State::Code;
+                    out[i] = ' ';
+                } else if (c != '\n') {
+                    out[i] = ' ';
+                }
+                break;
+        }
+    }
+    return out;
+}
+
+std::set<std::string> source_identifiers(const std::string& source) {
+    const std::string code = strip_comments(source);
+    std::set<std::string> out;
+    size_t i = 0;
+    while (i < code.size()) {
+        if (ident_start(code[i])) {
+            size_t start = i;
+            while (i < code.size() && ident_char(code[i])) {
+                i++;
+            }
+            out.emplace(code.substr(start, i - start));
+        } else {
+            i++;
+        }
+    }
+    return out;
+}
+
+int identifier_line(const std::string& source, const std::string& name) {
+    if (name.empty()) {
+        return 0;
+    }
+    const std::string code = strip_comments(source);
+    int line = 1;
+    size_t i = 0;
+    while (i < code.size()) {
+        if (code[i] == '\n') {
+            line++;
+            i++;
+        } else if (ident_start(code[i])) {
+            size_t start = i;
+            while (i < code.size() && ident_char(code[i])) {
+                i++;
+            }
+            if (code.compare(start, i - start, name) == 0) {
+                return line;
+            }
+        } else {
+            i++;
+        }
+    }
+    return 0;
+}
+
+int substring_line(const std::string& source, const std::string& needle) {
+    size_t pos = source.find(needle);
+    if (needle.empty() || pos == std::string::npos) {
+        return 0;
+    }
+    int line = 1;
+    for (size_t i = 0; i < pos; i++) {
+        if (source[i] == '\n') {
+            line++;
+        }
+    }
+    return line;
+}
+
+bool has_include_directives(const std::string& source) {
+    const std::string code = strip_comments(source);
+    size_t pos = 0;
+    while ((pos = code.find('#', pos)) != std::string::npos) {
+        size_t i = pos + 1;
+        while (i < code.size() && (code[i] == ' ' || code[i] == '\t')) {
+            i++;
+        }
+        if (code.compare(i, 7, "include") == 0) {
+            return true;
+        }
+        pos++;
+    }
+    return false;
+}
+
+}  // namespace kl::rtc

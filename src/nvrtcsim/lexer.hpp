@@ -1,0 +1,37 @@
+#pragma once
+
+#include <set>
+#include <string>
+
+namespace kl::rtc {
+
+/// Lightweight lexical utilities over CUDA C++ source text, shared by the
+/// simulated NVRTC front end and the static analysis passes (kl-lint).
+/// They do not parse the language; they answer the questions the rest of
+/// the system needs: "which identifiers appear in code?", "on which line?".
+
+/// Returns the source with comments and string/character literals blanked
+/// out (replaced by spaces, preserving line structure), so token scans do
+/// not pick up identifiers from documentation or literals.
+std::string strip_comments(const std::string& source);
+
+/// The set of identifier tokens appearing in the source outside comments
+/// and literals. Includes keywords and macro names; callers filter.
+std::set<std::string> source_identifiers(const std::string& source);
+
+/// 1-based line of the first occurrence of `name` as a whole identifier
+/// token outside comments/literals; 0 when absent.
+int identifier_line(const std::string& source, const std::string& name);
+
+/// 1-based line of the first occurrence of `needle` as a raw substring
+/// (comments included); 0 when absent. Used to locate pragma directives
+/// and declarations for diagnostics.
+int substring_line(const std::string& source, const std::string& needle);
+
+/// True when the source has an `#include` directive. The simulated NVRTC
+/// does not resolve headers, so identifier-usage checks must soften their
+/// verdicts: a header may well consume a constant the visible text never
+/// mentions.
+bool has_include_directives(const std::string& source);
+
+}  // namespace kl::rtc

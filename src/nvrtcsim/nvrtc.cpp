@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <mutex>
 
+#include "nvrtcsim/lexer.hpp"
 #include "util/errors.hpp"
 #include "util/strings.hpp"
 #include "util/thread_pool.hpp"
@@ -146,7 +147,11 @@ namespace {
 /// Superficial source checks standing in for real parsing: the tuned
 /// kernels are real .cu files, and typos in them should fail loudly here
 /// rather than silently succeed.
-void validate_source(const std::string& source, const std::string& file, std::string& log) {
+void validate_source(
+    const std::string& source,
+    const std::string& kernel,
+    const std::string& file,
+    std::string& log) {
     long balance = 0;
     for (char c : source) {
         if (c == '{') {
@@ -160,7 +165,7 @@ void validate_source(const std::string& source, const std::string& file, std::st
     }
     if (balance != 0) {
         throw CompileError(
-            "compilation of '" + file + "' failed",
+            "compilation of kernel '" + kernel + "' (" + file + ") failed",
             file + ": error: unbalanced braces in translation unit");
     }
     if (source.find("__global__") == std::string::npos) {
@@ -168,15 +173,13 @@ void validate_source(const std::string& source, const std::string& file, std::st
     }
 }
 
-/// Register allocation for one instance, mirroring what ptxas does with
-/// `__launch_bounds__`: the compiler targets enough blocks per SM and
-/// spills when the budget is exceeded.
-void estimate_registers(
+}  // namespace
+
+RegisterEstimate estimate_register_usage(
     const KernelEntry& entry,
     const sim::ConstantMap& constants,
     size_t element_size,
-    int registers_per_sm,
-    sim::KernelImage& image) {
+    int registers_per_sm) {
     const sim::KernelProfile& prof = entry.profile;
     double regs = prof.base_registers;
     if (element_size == 8) {
@@ -211,20 +214,35 @@ void estimate_registers(
         cap = static_cast<int>(std::min<int64_t>(cap, budget));
     }
 
+    RegisterEstimate out;
     if (needed > cap) {
         // ptxas first *squeezes* the allocation (rematerialization, shorter
         // live ranges) at a mild cost; only reductions beyond ~25% of the
         // demand become true local-memory spills.
         const int reduction = needed - cap;
         const int grace = (needed + 3) / 4;
-        image.squeezed_registers = std::min(reduction, grace);
-        image.spilled_registers = reduction - image.squeezed_registers;
-        image.registers_per_thread = cap;
+        out.squeezed_registers = std::min(reduction, grace);
+        out.spilled_registers = reduction - out.squeezed_registers;
+        out.registers_per_thread = cap;
     } else {
-        image.squeezed_registers = 0;
-        image.spilled_registers = 0;
-        image.registers_per_thread = needed;
+        out.registers_per_thread = needed;
     }
+    return out;
+}
+
+namespace {
+
+void estimate_registers(
+    const KernelEntry& entry,
+    const sim::ConstantMap& constants,
+    size_t element_size,
+    int registers_per_sm,
+    sim::KernelImage& image) {
+    RegisterEstimate est =
+        estimate_register_usage(entry, constants, element_size, registers_per_sm);
+    image.registers_per_thread = est.registers_per_thread;
+    image.squeezed_registers = est.squeezed_registers;
+    image.spilled_registers = est.spilled_registers;
 }
 
 std::string render_ptx(const sim::KernelImage& image, const CompileOptions& opts) {
@@ -265,7 +283,7 @@ CompileResult Program::compile(const std::vector<std::string>& options) const {
         result.log += "warning: unrecognized option '" + unknown + "' ignored\n";
     }
 
-    validate_source(source_, file_name_, result.log);
+    validate_source(source_, default_name_, file_name_, result.log);
 
     std::vector<std::string> expressions = name_expressions_;
     if (expressions.empty()) {
@@ -273,13 +291,14 @@ CompileResult Program::compile(const std::vector<std::string>& options) const {
     }
 
     KernelRegistry& registry = KernelRegistry::global();
+    const std::set<std::string> identifiers = source_identifiers(source_);
 
     for (const std::string& expression : expressions) {
         auto [base, template_args] = parse_name_expression(expression);
 
-        if (source_.find(base) == std::string::npos) {
+        if (identifiers.count(base) == 0) {
             throw CompileError(
-                "compilation failed",
+                "compilation of kernel '" + base + "' (" + file_name_ + ") failed",
                 result.log + file_name_ + ": error: kernel '" + base
                     + "' not found in source");
         }
@@ -288,7 +307,7 @@ CompileResult Program::compile(const std::vector<std::string>& options) const {
         std::shared_ptr<const KernelEntry> entry_ptr = registry.find(base);
         if (entry_ptr == nullptr) {
             throw CompileError(
-                "compilation failed",
+                "compilation of kernel '" + base + "' (" + file_name_ + ") failed",
                 result.log + file_name_ + ": error: no device implementation registered for '"
                     + base + "' (simulated NVRTC requires registered kernels)");
         }
@@ -296,7 +315,7 @@ CompileResult Program::compile(const std::vector<std::string>& options) const {
 
         if (template_args.size() > entry.template_params.size()) {
             throw CompileError(
-                "compilation failed",
+                "compilation of kernel '" + base + "' (" + file_name_ + ") failed",
                 result.log + file_name_ + ": error: too many template arguments for '" + base
                     + "' (expected " + std::to_string(entry.template_params.size()) + ", got "
                     + std::to_string(template_args.size()) + ")");
@@ -320,7 +339,7 @@ CompileResult Program::compile(const std::vector<std::string>& options) const {
         for (const std::string& required : entry.required_constants) {
             if (!image.constants.contains(required)) {
                 throw CompileError(
-                    "compilation failed",
+                    "compilation of kernel '" + base + "' (" + file_name_ + ") failed",
                     result.log + file_name_ + ": error: identifier '" + required
                         + "' is undefined (add -D" + required + "=... or a template argument)");
             }
@@ -333,7 +352,7 @@ CompileResult Program::compile(const std::vector<std::string>& options) const {
         std::optional<size_t> elem = scalar_type_size(real);
         if (!elem.has_value()) {
             throw CompileError(
-                "compilation failed",
+                "compilation of kernel '" + base + "' (" + file_name_ + ") failed",
                 result.log + file_name_ + ": error: unknown scalar type '" + real + "'");
         }
         image.element_size = *elem;
@@ -351,7 +370,7 @@ CompileResult Program::compile(const std::vector<std::string>& options) const {
                 image.impl = entry.make_impl(image.constants);
             } catch (const Error& e) {
                 throw CompileError(
-                    "compilation failed",
+                    "compilation of kernel '" + base + "' (" + file_name_ + ") failed",
                     result.log + file_name_ + ": error: " + e.what());
             }
         }

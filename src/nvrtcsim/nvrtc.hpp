@@ -117,6 +117,27 @@ CompileJob compile_async(
     std::vector<std::string> options,
     util::ThreadPool* pool = nullptr);
 
+/// Register-allocation estimate for one kernel instance, mirroring what
+/// ptxas does with `__launch_bounds__`: the compiler targets enough blocks
+/// per SM and squeezes/spills when the budget is exceeded. Exposed so the
+/// static analysis (kl-lint KL003) can predict spilling for a configuration
+/// without compiling it.
+struct RegisterEstimate {
+    int registers_per_thread = 0;
+    int squeezed_registers = 0;  ///< mild-cost allocation squeezing
+    int spilled_registers = 0;   ///< true local-memory spills
+};
+
+/// Estimates register usage of `entry` under the given compile-time
+/// constants. `element_size` is the element type width in bytes (8 doubles
+/// register pressure for double precision); `registers_per_sm` comes from
+/// the target device.
+RegisterEstimate estimate_register_usage(
+    const KernelEntry& entry,
+    const sim::ConstantMap& constants,
+    size_t element_size,
+    int registers_per_sm);
+
 /// Splits a name expression into base name and template arguments:
 /// "advec_u<double, 4>" -> {"advec_u", {"double", "4"}}. Handles nested
 /// angle brackets. Throws kl::Error on malformed input.

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
+
 #include "core/kernel_launcher.hpp"
 #include "nvrtcsim/registry.hpp"
 #include "util/fs.hpp"
@@ -69,7 +71,56 @@ TEST(ErrorPaths, BrokenSourcePropagatesCompileErrorWithLog) {
         FAIL() << "expected CompileError";
     } catch (const CompileError& e) {
         EXPECT_NE(e.log().find("unbalanced braces"), std::string::npos) << e.log();
+        // The exception names the kernel and the source file it came from.
+        std::string what = e.what();
+        EXPECT_NE(what.find("vector_add"), std::string::npos) << what;
+        EXPECT_NE(what.find("broken.cu"), std::string::npos) << what;
     }
+}
+
+TEST(ErrorPaths, MissingSourceIoErrorNamesKernelAndPath) {
+    auto context = sim::Context::create("NVIDIA RTX A4000");
+    KernelBuilder builder("my_kernel", KernelSource("/nonexistent/my_kernel.cu"));
+    Expr bs = builder.tune("block_size", {32});
+    builder.problem_size(arg3).block_size(bs);
+    WisdomKernel kernel(
+        builder,
+        WisdomSettings().wisdom_dir(make_temp_dir("kl-err")).lint_mode(LintMode::Off));
+    std::vector<KernelArg> args = {
+        KernelArg::buffer(1, ScalarType::F32, 1),
+        KernelArg::buffer(2, ScalarType::F32, 1),
+        KernelArg::buffer(3, ScalarType::F32, 1),
+        KernelArg::scalar<int32_t>(8),
+    };
+    try {
+        kernel.launch_args(args);
+        FAIL() << "expected IoError";
+    } catch (const IoError& e) {
+        std::string what = e.what();
+        EXPECT_NE(what.find("kernel 'my_kernel'"), std::string::npos) << what;
+        EXPECT_NE(what.find("/nonexistent/my_kernel.cu"), std::string::npos) << what;
+    }
+}
+
+TEST(ErrorPaths, BuilderErrorsNameKernelAndFile) {
+    KernelBuilder builder("my_kernel", KernelSource("my_kernel.cu"));
+    builder.tune("p", {1, 2});
+    auto expect_context = [](const std::function<void()>& fn) {
+        try {
+            fn();
+            FAIL() << "expected DefinitionError";
+        } catch (const DefinitionError& e) {
+            std::string what = e.what();
+            EXPECT_NE(what.find("kernel 'my_kernel'"), std::string::npos) << what;
+            EXPECT_NE(what.find("my_kernel.cu"), std::string::npos) << what;
+        }
+    };
+    expect_context([&] { builder.tune("p", {3}); });                    // duplicate
+    expect_context([&] { builder.tune("q", {}); });                     // no values
+    expect_context([&] { builder.tune("r", {1, 2}, Value(5)); });       // bad default
+    expect_context([&] { builder.restriction(Expr::param("zz") > 1); });
+    builder.define("D", Expr(1));
+    expect_context([&] { builder.define("D", Expr(2)); });              // duplicate
 }
 
 TEST(ErrorPaths, CorruptWisdomFileIsJsonError) {

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "analysis/lint.hpp"
 #include "core/expr_parser.hpp"
 #include "core/pragma.hpp"
 #include "cudasim/context.hpp"
@@ -97,6 +98,30 @@ TEST(ExprParser, MalformedInputsThrow) {
          {"", "1 +", "(1", "1)", "min(1)", "frob(1, 2)", "1 ? 2", "a b", "'open",
           "@", "? 1 : 2", "div_ceil(1,2,3)"}) {
         EXPECT_THROW(parse_expr(bad), Error) << bad;
+    }
+}
+
+TEST(ExprParser, ErrorMessagesIncludeInputAndPosition) {
+    try {
+        parse_expr("bx + ");
+        FAIL() << "expected Error";
+    } catch (const Error& e) {
+        std::string what = e.what();
+        EXPECT_NE(what.find("position"), std::string::npos) << what;
+        EXPECT_NE(what.find("bx + "), std::string::npos) << what;
+    }
+    try {
+        parse_expr("1 @ 2");
+        FAIL() << "expected Error";
+    } catch (const Error& e) {
+        EXPECT_NE(std::string(e.what()).find("'@'"), std::string::npos) << e.what();
+    }
+    try {
+        parse_expr("'open");
+        FAIL() << "expected Error";
+    } catch (const Error& e) {
+        EXPECT_NE(std::string(e.what()).find("unterminated"), std::string::npos)
+            << e.what();
     }
 }
 
@@ -204,6 +229,30 @@ TEST(Pragma, Diagnostics) {
     EXPECT_THROW(build("#pragma kernel_launcher restriction(1 +"), DefinitionError);
     EXPECT_THROW(build("#pragma kernel_launcher problem_size(1, 2, 3, 4)"), DefinitionError);
     EXPECT_THROW(build("#pragma kernel_launcher define(ONLY_NAME)"), DefinitionError);
+}
+
+TEST(Pragma, MalformedAnnotationsBecomeLintDiagnostics) {
+    // The same failure modes, surfaced through the kl-lint front end:
+    // structured KL000 errors carrying the pragma's location instead of a
+    // thrown exception.
+    std::string dir = make_temp_dir("kl-pragma");
+    int case_id = 0;
+    for (const char* pragma :
+         {"#pragma kernel_launcher tune",
+          "#pragma kernel_launcher tune p()",
+          "#pragma kernel_launcher frobnicate(1)",
+          "#pragma kernel_launcher restriction(1 +",
+          "#pragma kernel_launcher define(ONLY_NAME)"}) {
+        std::string path = path_join(dir, "bad" + std::to_string(case_id++) + ".cu");
+        write_text_file(path, std::string(pragma) + "\n__global__ void k() {}\n");
+        std::vector<analysis::Diagnostic> diags =
+            analysis::lint_annotated_source("k", KernelSource(path));
+        ASSERT_EQ(diags.size(), 1u) << pragma;
+        EXPECT_EQ(diags[0].code, "KL000") << pragma;
+        EXPECT_EQ(diags[0].severity, analysis::Severity::Error) << pragma;
+        EXPECT_EQ(diags[0].location.file, path) << pragma;
+        EXPECT_EQ(diags[0].location.line, 1) << pragma;
+    }
 }
 
 }  // namespace

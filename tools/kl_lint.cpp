@@ -1,0 +1,257 @@
+// kl-lint: standalone front end of the static kernel-definition analysis.
+//
+// Usage:
+//   kl-lint --builtin                 lint every kernel definition shipped
+//                                     with the repository (the example
+//                                     kernels and the MicroHH stencils)
+//   kl-lint [options] file.cu ...     lint #pragma kernel_launcher-annotated
+//                                     CUDA sources
+//
+// Options:
+//   --kernel NAME    kernel name for annotated sources (default: file stem)
+//   --wisdom FILE    also check FILE against the linted definition (KL005);
+//                    requires exactly one definition
+//   --device NAME    restrict device resource checks to NAME (repeatable)
+//   --strict         exit nonzero on warnings as well as errors
+//   --no-notes       suppress note-severity findings
+//
+// Exit status: 0 clean (notes/warnings allowed unless --strict), 1 findings
+// at the failing severity, 2 usage or I/O error.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "analysis/lint.hpp"
+#include "core/pragma.hpp"
+#include "microhh/definitions.hpp"
+#include "microhh/kernels.hpp"
+#include "nvrtcsim/registry.hpp"
+#include "util/errors.hpp"
+#include "util/fs.hpp"
+
+namespace {
+
+namespace klc = kl::core;
+namespace kla = kl::analysis;
+
+struct Options {
+    bool builtin = false;
+    bool strict = false;
+    bool notes = true;
+    std::string kernel_name;
+    std::string wisdom_path;
+    std::vector<std::string> devices;
+    std::vector<std::string> files;
+};
+
+void usage(std::FILE* out) {
+    std::fprintf(
+        out,
+        "usage: kl-lint --builtin | kl-lint [--kernel NAME] [--wisdom FILE]\n"
+        "               [--device NAME]... [--strict] [--no-notes] file.cu ...\n");
+}
+
+std::string file_stem(const std::string& path) {
+    size_t slash = path.find_last_of('/');
+    std::string base = slash == std::string::npos ? path : path.substr(slash + 1);
+    size_t dot = base.find_last_of('.');
+    return dot == std::string::npos ? base : base.substr(0, dot);
+}
+
+/// The kernel definitions shipped with the repository: the example kernels
+/// (mirroring quickstart.cpp / annotated_kernel.cpp) and the four MicroHH
+/// stencil variants of the paper's Table 2.
+std::vector<klc::KernelDef> builtin_definitions() {
+    kl::rtc::register_builtin_kernels();
+    kl::microhh::register_microhh_kernels();
+    std::vector<klc::KernelDef> defs;
+
+    {
+        // vector_add, as defined in examples/quickstart.cpp (Listing 3).
+        klc::KernelBuilder builder(
+            "vector_add",
+            klc::KernelSource::inline_source(
+                "vector_add.cu", kl::rtc::builtin_kernel_source("vector_add")));
+        auto block_size = builder.tune("block_size", {32, 64, 128, 256, 1024});
+        builder.problem_size(klc::arg3)
+            .template_args(block_size)
+            .block_size(block_size)
+            .output_arg(0);
+        defs.push_back(builder.build());
+    }
+    {
+        // saxpy over a preprocessor-defined block size.
+        klc::KernelBuilder builder(
+            "saxpy",
+            klc::KernelSource::inline_source(
+                "saxpy.cu", kl::rtc::builtin_kernel_source("saxpy")));
+        auto block_size = builder.tune("BLOCK_SIZE", {64, 128, 256, 512});
+        builder.problem_size(klc::arg3).block_size(block_size).output_arg(0);
+        defs.push_back(builder.build());
+    }
+    {
+        // copy3d with a templated element type and a 3D block.
+        klc::KernelBuilder builder(
+            "copy3d",
+            klc::KernelSource::inline_source(
+                "copy3d.cu", kl::rtc::builtin_kernel_source("copy3d")));
+        auto bx = builder.tune("BLOCK_SIZE_X", {8, 16, 32, 64});
+        auto by = builder.tune("BLOCK_SIZE_Y", {1, 2, 4, 8});
+        auto bz = builder.tune("BLOCK_SIZE_Z", {1, 2, 4});
+        builder.restriction(bx * by * bz <= 1024);
+        builder.problem_size(klc::arg2, klc::arg3, klc::arg4)
+            .block_size(bx, by, bz)
+            .template_args(klc::Expr("float"))
+            .output_arg(0);
+        defs.push_back(builder.build());
+    }
+
+    using kl::microhh::Precision;
+    for (Precision precision : {Precision::Float32, Precision::Float64}) {
+        defs.push_back(kl::microhh::make_advec_u_builder(precision).build());
+        defs.push_back(kl::microhh::make_diff_uvw_builder(precision).build());
+    }
+    return defs;
+}
+
+int severity_rank(kla::Severity s) {
+    return static_cast<int>(s);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    Options opts;
+    for (int i = 1; i < argc; i++) {
+        std::string arg = argv[i];
+        auto next = [&](const char* flag) -> const char* {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "kl-lint: %s requires an argument\n", flag);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--builtin") {
+            opts.builtin = true;
+        } else if (arg == "--strict") {
+            opts.strict = true;
+        } else if (arg == "--no-notes") {
+            opts.notes = false;
+        } else if (arg == "--kernel") {
+            opts.kernel_name = next("--kernel");
+        } else if (arg == "--wisdom") {
+            opts.wisdom_path = next("--wisdom");
+        } else if (arg == "--device") {
+            opts.devices.emplace_back(next("--device"));
+        } else if (arg == "--help" || arg == "-h") {
+            usage(stdout);
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "kl-lint: unknown option '%s'\n", arg.c_str());
+            usage(stderr);
+            return 2;
+        } else {
+            opts.files.push_back(arg);
+        }
+    }
+    if (!opts.builtin && opts.files.empty()) {
+        usage(stderr);
+        return 2;
+    }
+
+    kla::LintOptions lint_options;
+    for (const std::string& name : opts.devices) {
+        if (!kl::sim::DeviceRegistry::global().contains(name)) {
+            std::fprintf(stderr, "kl-lint: unknown device '%s'; known devices:\n",
+                         name.c_str());
+            for (const auto& d : kl::sim::DeviceRegistry::global().all()) {
+                std::fprintf(stderr, "  %s\n", d.name.c_str());
+            }
+            return 2;
+        }
+        lint_options.devices.push_back(kl::sim::DeviceRegistry::global().by_name(name));
+    }
+
+    std::vector<klc::KernelDef> defs;
+    std::vector<kla::Diagnostic> diagnostics;
+    try {
+        if (opts.builtin) {
+            defs = builtin_definitions();
+            for (const klc::KernelDef& def : defs) {
+                std::vector<kla::Diagnostic> d = kla::lint_kernel(def, lint_options);
+                diagnostics.insert(diagnostics.end(), d.begin(), d.end());
+            }
+        }
+        for (const std::string& file : opts.files) {
+            std::string name =
+                opts.kernel_name.empty() ? file_stem(file) : opts.kernel_name;
+            std::vector<kla::Diagnostic> d = kla::lint_annotated_source(
+                name, klc::KernelSource(file), lint_options);
+            diagnostics.insert(diagnostics.end(), d.begin(), d.end());
+            // Track the definition for --wisdom when the source parses.
+            if (!kla::has_errors(d)) {
+                try {
+                    defs.push_back(
+                        klc::builder_from_annotated_source(name, klc::KernelSource(file))
+                            .build());
+                } catch (const kl::Error&) {
+                    // already reported as a KL000 diagnostic
+                }
+            }
+        }
+        if (!opts.wisdom_path.empty()) {
+            if (defs.size() != 1) {
+                std::fprintf(
+                    stderr,
+                    "kl-lint: --wisdom requires exactly one linted definition "
+                    "(got %zu)\n",
+                    defs.size());
+                return 2;
+            }
+            klc::WisdomFile wisdom =
+                klc::WisdomFile::load(opts.wisdom_path, defs.front().key());
+            std::vector<kla::Diagnostic> d =
+                kla::lint_wisdom(defs.front(), wisdom, opts.wisdom_path, lint_options);
+            diagnostics.insert(diagnostics.end(), d.begin(), d.end());
+        }
+    } catch (const kl::Error& e) {
+        std::fprintf(stderr, "kl-lint: %s\n", e.what());
+        return 2;
+    }
+
+    // Most severe first, stable within a severity.
+    std::stable_sort(
+        diagnostics.begin(),
+        diagnostics.end(),
+        [](const kla::Diagnostic& a, const kla::Diagnostic& b) {
+            return severity_rank(a.severity) > severity_rank(b.severity);
+        });
+    size_t printed = 0;
+    for (const kla::Diagnostic& d : diagnostics) {
+        if (!opts.notes && d.severity == kla::Severity::Note) {
+            continue;
+        }
+        std::fprintf(stderr, "%s\n", d.render().c_str());
+        printed++;
+    }
+
+    size_t errors = kla::count_severity(diagnostics, kla::Severity::Error);
+    size_t warnings = kla::count_severity(diagnostics, kla::Severity::Warning);
+    size_t notes = kla::count_severity(diagnostics, kla::Severity::Note);
+    std::fprintf(
+        stderr,
+        "kl-lint: %zu definition(s): %zu error(s), %zu warning(s), %zu note(s)\n",
+        defs.size(),
+        errors,
+        warnings,
+        notes);
+    (void) printed;
+
+    if (errors > 0 || (opts.strict && warnings > 0)) {
+        return 1;
+    }
+    return 0;
+}
