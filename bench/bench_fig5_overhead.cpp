@@ -14,6 +14,8 @@
 #include <memory>
 
 #include "common.hpp"
+#include "trace/export.hpp"
+#include "trace/trace.hpp"
 #include "util/fs.hpp"
 
 using namespace kl;
@@ -73,6 +75,12 @@ int main(int argc, char** argv) {
 
     std::printf("=== Figure 5: first vs subsequent launch overhead ===\n\n");
 
+    // Trace the cold launch itself: the spans recorded here are the same
+    // breakdown the printf report below derives from OverheadBreakdown,
+    // as the trace test suite verifies.
+    trace::set_mode(trace::Mode::Full);
+    trace::clear();
+
     Fixture fixture(g_wisdom_dir);
     double before = fixture.context->clock().now();
     fixture.launch();
@@ -90,6 +98,19 @@ int main(int argc, char** argv) {
     line("cuModuleLoad", cold.module_load_seconds);
     line("cuLaunchKernel", cold.launch_seconds);
     std::printf("  (paper: NVRTC accounts for ~80%% of the first-launch overhead)\n\n");
+
+    // The same first launch, as recorded by the trace subsystem: write the
+    // Chrome trace (KERNEL_LAUNCHER_TRACE=full would do this automatically
+    // via KERNEL_LAUNCHER_TRACE_FILE) and print the per-span aggregate.
+    const std::string trace_path = path_join(g_wisdom_dir, "fig5_trace.json");
+    trace::write_trace_file(trace_path);
+    std::printf("--- the same launch, from the trace recorder ---\n");
+    std::printf("%s", trace::live_flame_summary().c_str());
+    std::printf("Chrome trace written to %s (open in Perfetto, or replay\n"
+                "with: kl-trace %s)\n\n",
+                trace_path.c_str(), trace_path.c_str());
+    trace::set_mode(trace::Mode::Off);
+    trace::clear();
 
     // Subsequent launches: simulated host cost per launch.
     const int warm_launches = 1000;

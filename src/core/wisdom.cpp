@@ -6,6 +6,7 @@
 #include <ctime>
 #include <limits>
 
+#include "trace/trace.hpp"
 #include "util/errors.hpp"
 #include "util/fs.hpp"
 #include "util/strings.hpp"
@@ -152,6 +153,9 @@ WisdomFile WisdomFile::from_json(const json::Value& v) {
 }
 
 WisdomFile WisdomFile::load(const std::string& path, const std::string& kernel_name) {
+    if (trace::counters_enabled()) {
+        trace::counter("wisdom.loads").add(1);
+    }
     if (!file_exists(path)) {
         return WisdomFile(kernel_name);
     }

@@ -5,6 +5,7 @@
 
 #include "analysis/lint.hpp"
 #include "nvrtcsim/registry.hpp"
+#include "trace/trace.hpp"
 #include "util/errors.hpp"
 #include "util/fs.hpp"
 #include "util/thread_pool.hpp"
@@ -47,6 +48,43 @@ struct WisdomKernel::SharedState {
     std::map<Key, std::shared_ptr<Instance>> instances;
     std::map<Key, bool> captured;
     Stats stats;
+
+    /// The one canonical metrics surface of the compile/launch pipeline:
+    /// every counter is bumped through these helpers, which update the
+    /// per-kernel Stats and the process-wide trace counter registry (the
+    /// aggregate "kl.*" counters) together, so stats() and
+    /// trace::counters_snapshot() can never disagree about what happened.
+    /// Callers must hold `mutex`.
+    void note_compile_started() {
+        stats.compiles_started++;
+        stats.compiles_in_flight++;
+        bump("kl.compiles_started");
+    }
+    void note_compile_finished(bool failed) {
+        stats.compiles_in_flight--;
+        if (failed) {
+            stats.compiles_failed++;
+            bump("kl.compiles_failed");
+        }
+    }
+    void note_cold_launch() {
+        stats.cold_launches++;
+        bump("kl.cold_launches");
+    }
+    void note_launch_wait() {
+        stats.launch_waits++;
+        bump("kl.launch_waits");
+    }
+    void note_warm_hit() {
+        stats.warm_hits++;
+        bump("kl.warm_hits");
+    }
+
+    static void bump(const char* name) {
+        if (trace::counters_enabled()) {
+            trace::counter(name).add(1);
+        }
+    }
     OverheadBreakdown last_overhead;
     OverheadBreakdown last_cold_overhead;
     WisdomMatch last_match = WisdomMatch::None;
@@ -71,11 +109,20 @@ WisdomKernel::WisdomKernel(KernelDef def, WisdomSettings settings):
     def_(std::move(def)),
     settings_(std::move(settings)),
     state_(std::make_shared<SharedState>()) {
+    // The trace recorder must be constructed before the compile pool is
+    // first touched (compile_ahead), so background jobs can record safely
+    // during process teardown.
+    trace::ensure_initialized();
+
     // Registration-time static analysis (kl-lint). In the default Warn
     // mode findings go to stderr and registration proceeds; under
     // KERNEL_LAUNCHER_LINT=error a defective definition fails here, at
     // the registration site, instead of at the first launch.
     if (settings_.lint_mode() != LintMode::Off) {
+        if (trace::counters_enabled()) {
+            trace::counter("lint.runs").add(1);
+        }
+        trace::HostSpan span("lint", "lint.registration", {{"kernel", def_.name}});
         analysis::enforce(
             analysis::lint_registration(def_, settings_),
             settings_.lint_mode(),
@@ -101,7 +148,8 @@ WisdomKernel::BuildOutcome WisdomKernel::build_instance(
     const KernelDef& def,
     const std::string& wisdom_path,
     const sim::DeviceProperties& device,
-    const ProblemSize& problem) {
+    const ProblemSize& problem,
+    double sim_start) {
     BuildOutcome out;
     try {
         // 1. Read the wisdom file and select a configuration (§4.5).
@@ -128,6 +176,43 @@ WisdomKernel::BuildOutcome WisdomKernel::build_instance(
     } catch (...) {
         out.error = std::current_exception();
     }
+
+    // The Fig. 5 breakdown as Sim-domain spans, laid out back-to-back from
+    // `sim_start` (the virtual-clock time the build was charged from: the
+    // caller's clock for synchronous builds, the submit time for background
+    // ones). Emitting here, on whatever thread ran the build, is what puts
+    // async compile spans on the worker's own track.
+    if (trace::spans_enabled()) {
+        trace::Args common {
+            {"kernel", def.name},
+            {"problem", problem.to_string()},
+            {"device", device.name}};
+        double t = sim_start;
+        trace::emit_complete(
+            trace::Domain::Sim, "compile", "wisdom.read", t, out.cost.wisdom_seconds, common);
+        t += out.cost.wisdom_seconds;
+        if (out.error == nullptr) {
+            trace::Args compile_args = common;
+            compile_args.emplace_back("config", out.config.to_json().dump());
+            trace::emit_complete(
+                trace::Domain::Sim,
+                "compile",
+                "nvrtc.compile",
+                t,
+                out.cost.compile_seconds,
+                std::move(compile_args));
+            t += out.cost.compile_seconds;
+            trace::emit_complete(
+                trace::Domain::Sim,
+                "compile",
+                "module.load",
+                t,
+                out.cost.module_load_seconds,
+                common);
+        } else {
+            trace::emit_instant(trace::Domain::Sim, "compile", "compile.error", t, common);
+        }
+    }
     return out;
 }
 
@@ -139,17 +224,17 @@ void WisdomKernel::publish(
     std::lock_guard<std::mutex> lock(state.mutex);
     instance.build_cost = outcome.cost;
     instance.ready_time = ready_time;
-    if (outcome.error != nullptr) {
+    const bool failed = outcome.error != nullptr;
+    if (failed) {
         instance.error = outcome.error;
         instance.state = InstanceState::Failed;
-        state.stats.compiles_failed++;
     } else {
         instance.config = std::move(outcome.config);
         instance.match = outcome.match;
         instance.module = std::move(outcome.module);
         instance.state = InstanceState::Ready;
     }
-    state.stats.compiles_in_flight--;
+    state.note_compile_finished(failed);
     state.cv.notify_all();
 }
 
@@ -166,8 +251,7 @@ void WisdomKernel::compile_ahead(const ProblemSize& problem) {
         instance = std::make_shared<Instance>();
         instance->background = settings_.async_compile();
         state_->instances.emplace(std::move(key), instance);
-        state_->stats.compiles_started++;
-        state_->stats.compiles_in_flight++;
+        state_->note_compile_started();
     }
 
     const std::string wisdom_path = settings_.wisdom_path(def_.key());
@@ -175,7 +259,8 @@ void WisdomKernel::compile_ahead(const ProblemSize& problem) {
         // Eager synchronous prefetch: build in the caller, charging its
         // virtual clock exactly like a synchronous cold launch (minus the
         // launch itself).
-        BuildOutcome outcome = build_instance(def_, wisdom_path, context.device(), problem);
+        BuildOutcome outcome = build_instance(
+            def_, wisdom_path, context.device(), problem, context.clock().now());
         context.clock().advance(outcome.cost.wisdom_seconds);
         if (outcome.error == nullptr) {
             context.clock().advance(outcome.cost.compile_seconds);
@@ -192,7 +277,11 @@ void WisdomKernel::compile_ahead(const ProblemSize& problem) {
     // The job is self-contained: it references the shared state block and
     // value copies, never the kernel or the context, so the kernel may be
     // destroyed (and the context torn down) while the job is in flight.
+    if (trace::counters_enabled()) {
+        trace::counter("pool.jobs_submitted").add(1);
+    }
     const double submit_time = context.clock().now();
+    const double submit_host = trace::host_now_seconds();
     util::compile_pool().submit(
         [state = state_,
          instance,
@@ -200,8 +289,24 @@ void WisdomKernel::compile_ahead(const ProblemSize& problem) {
          wisdom_path,
          device = context.device(),
          problem,
-         submit_time] {
-            BuildOutcome outcome = build_instance(def, wisdom_path, device, problem);
+         submit_time,
+         submit_host] {
+            if (trace::spans_enabled()) {
+                if (int worker = util::ThreadPool::current_worker_index(); worker >= 0) {
+                    trace::set_thread_name("compile-worker-" + std::to_string(worker));
+                }
+                // Real time the job sat in the pool queue before a worker
+                // picked it up, as opposed to the modeled compile time.
+                trace::emit_complete(
+                    trace::Domain::Host,
+                    "compile",
+                    "compile.queue_wait",
+                    submit_host,
+                    trace::host_now_seconds() - submit_host,
+                    {{"kernel", def.name}});
+            }
+            BuildOutcome outcome =
+                build_instance(def, wisdom_path, device, problem, submit_time);
             const double ready_time = submit_time + outcome.cost.wisdom_seconds
                 + outcome.cost.compile_seconds + outcome.cost.module_load_seconds;
             publish(*state, *instance, std::move(outcome), ready_time);
@@ -280,10 +385,24 @@ void WisdomKernel::clear_cache() {
     std::unique_lock<std::mutex> lock(state_->mutex);
     // Let in-flight builds land first: a concurrent launch that is mid-
     // compile keeps its own shared_ptr and finishes correctly, but the
-    // cache must not be cleared out from under the state transition.
+    // cache must not be cleared out from under the state transition. This
+    // is also what keeps the trace coherent: every span of an in-flight
+    // build has been emitted by the time the wait returns, so a trace cut
+    // after clear_cache() never contains a half-built instance.
     state_->cv.wait(lock, [this] { return state_->stats.compiles_in_flight == 0; });
     state_->instances.clear();
     state_->captured.clear();
+    SharedState::bump("kl.cache_clears");
+    if (trace::spans_enabled()) {
+        if (sim::Context* context = sim::Context::current_or_null()) {
+            trace::emit_instant(
+                trace::Domain::Sim,
+                "cache",
+                "cache.clear",
+                context->clock().now(),
+                {{"kernel", def_.name}});
+        }
+    }
 }
 
 size_t WisdomKernel::cached_instance_count() const {
@@ -304,6 +423,10 @@ void WisdomKernel::launch_args(const std::vector<KernelArg>& args, sim::Stream* 
             check = !state_->args_linted;
         }
         if (check) {
+            if (trace::counters_enabled()) {
+                trace::counter("lint.runs").add(1);
+            }
+            trace::HostSpan span("lint", "lint.launch_args", {{"kernel", def_.name}});
             analysis::enforce(
                 analysis::lint_launch_args(def_, args),
                 settings_.lint_mode(),
@@ -316,6 +439,8 @@ void WisdomKernel::launch_args(const std::vector<KernelArg>& args, sim::Stream* 
     const ProblemSize problem = def_.eval_problem_size(args);
     Key key {context.device().name, problem};
 
+    SharedState::bump("kl.launches");
+
     std::shared_ptr<Instance> instance;
     bool we_compile = false;
     {
@@ -325,13 +450,20 @@ void WisdomKernel::launch_args(const std::vector<KernelArg>& args, sim::Stream* 
             instance = std::make_shared<Instance>();
             instance->background = false;
             state_->instances.emplace(key, instance);
-            state_->stats.compiles_started++;
-            state_->stats.compiles_in_flight++;
-            state_->stats.cold_launches++;
+            state_->note_compile_started();
+            state_->note_cold_launch();
             we_compile = true;
         } else {
             instance = it->second;
         }
+    }
+    if (trace::spans_enabled()) {
+        trace::emit_instant(
+            trace::Domain::Sim,
+            "cache",
+            we_compile ? "cache.miss" : "cache.hit",
+            context.clock().now(),
+            {{"kernel", def_.name}, {"problem", problem.to_string()}});
     }
 
     OverheadBreakdown overhead;
@@ -340,8 +472,12 @@ void WisdomKernel::launch_args(const std::vector<KernelArg>& args, sim::Stream* 
     if (we_compile) {
         // Synchronous cold launch: the caller pays wisdom read, NVRTC and
         // module load on its own (virtual) time, as in Fig. 5.
-        BuildOutcome outcome =
-            build_instance(def_, settings_.wisdom_path(def_.key()), context.device(), problem);
+        BuildOutcome outcome = build_instance(
+            def_,
+            settings_.wisdom_path(def_.key()),
+            context.device(),
+            problem,
+            context.clock().now());
         context.clock().advance(outcome.cost.wisdom_seconds);
         overhead.wisdom_seconds = outcome.cost.wisdom_seconds;
         std::exception_ptr error = outcome.error;
@@ -358,11 +494,11 @@ void WisdomKernel::launch_args(const std::vector<KernelArg>& args, sim::Stream* 
     } else {
         std::unique_lock<std::mutex> lock(state_->mutex);
         if (instance->state == InstanceState::Compiling) {
-            state_->stats.launch_waits++;
+            state_->note_launch_wait();
             state_->cv.wait(
                 lock, [&] { return instance->state != InstanceState::Compiling; });
         } else if (instance->state == InstanceState::Ready) {
-            state_->stats.warm_hits++;
+            state_->note_warm_hit();
         }
         if (instance->state == InstanceState::Failed) {
             // Deferred compile error: surfaces on first (and every) use.
@@ -379,6 +515,15 @@ void WisdomKernel::launch_args(const std::vector<KernelArg>& args, sim::Stream* 
         if (instance->ready_time > now) {
             overhead.wait_seconds = instance->ready_time - now;
             context.clock().advance_to(instance->ready_time);
+            if (trace::spans_enabled()) {
+                trace::emit_complete(
+                    trace::Domain::Sim,
+                    "launch",
+                    "launch.wait",
+                    now,
+                    overhead.wait_seconds,
+                    {{"kernel", def_.name}});
+            }
         }
     }
 
@@ -399,12 +544,20 @@ void WisdomKernel::launch_args(const std::vector<KernelArg>& args, sim::Stream* 
         }
     }
 
-    const KernelDef::Geometry geom = def_.eval_geometry(instance->config, args);
-
+    KernelDef::Geometry geom;
     std::vector<void*> slots;
-    slots.reserve(args.size());
-    for (const KernelArg& arg : args) {
-        slots.push_back(const_cast<void*>(arg.slot()));
+    {
+        // Argument marshalling runs on the host proper (expression
+        // evaluation plus slot collection), so it is timed in real time.
+        trace::HostSpan span(
+            "launch",
+            "args.marshal",
+            {{"kernel", def_.name}, {"args", std::to_string(args.size())}});
+        geom = def_.eval_geometry(instance->config, args);
+        slots.reserve(args.size());
+        for (const KernelArg& arg : args) {
+            slots.push_back(const_cast<void*>(arg.slot()));
+        }
     }
 
     double before_launch = context.clock().now();
@@ -417,6 +570,18 @@ void WisdomKernel::launch_args(const std::vector<KernelArg>& args, sim::Stream* 
         slots.data(),
         slots.size());
     overhead.launch_seconds = context.clock().now() - before_launch;
+    if (trace::spans_enabled()) {
+        trace::emit_complete(
+            trace::Domain::Sim,
+            "launch",
+            "kernel.launch",
+            before_launch,
+            overhead.launch_seconds,
+            {{"kernel", def_.name},
+             {"grid", geom.grid.to_string()},
+             {"block", geom.block.to_string()},
+             {"config", instance->config.to_json().dump()}});
+    }
 
     {
         std::lock_guard<std::mutex> lock(state_->mutex);

@@ -170,7 +170,8 @@ class WisdomKernel {
         const KernelDef& def,
         const std::string& wisdom_path,
         const sim::DeviceProperties& device,
-        const ProblemSize& problem);
+        const ProblemSize& problem,
+        double sim_start);
 
     static void publish(
         SharedState& state,

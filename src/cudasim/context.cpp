@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "trace/trace.hpp"
 #include "util/errors.hpp"
 
 namespace kl::sim {
@@ -14,11 +15,31 @@ constexpr double kPcieLatencySeconds = 8e-6;
 
 std::atomic<Context*> g_current_context {nullptr};
 
+/// One traced memory operation: bytes-moved counter plus a Sim-domain span
+/// with the modeled transfer duration.
+void record_memop(const char* name, double start, double seconds, uint64_t bytes) {
+    if (trace::counters_enabled()) {
+        trace::counter("cuda.bytes_moved").add(bytes);
+    }
+    if (trace::spans_enabled()) {
+        trace::emit_complete(
+            trace::Domain::Sim,
+            "cuda",
+            name,
+            start,
+            seconds,
+            {{"bytes", std::to_string(bytes)}});
+    }
+}
+
 }  // namespace
 
 Context::Context(const DeviceProperties& device, ExecutionMode mode):
     device_(device),
     mode_(mode) {
+    // The recorder must outlive the compile pool (whose jobs trace against
+    // this context's clock); force it into existence first.
+    trace::ensure_initialized();
     streams_.push_back(std::make_unique<Stream>(0));
     previous_current_ = g_current_context.exchange(this, std::memory_order_acq_rel);
 }
@@ -59,6 +80,10 @@ void Context::synchronize() {
 }
 
 DevicePtr Context::malloc(uint64_t size) {
+    if (trace::counters_enabled()) {
+        trace::counter("cuda.mallocs").add(1);
+        trace::counter("cuda.bytes_allocated").add(size);
+    }
     // The mutex serializes the capacity check against concurrent mallocs;
     // the pool itself is internally synchronized.
     std::lock_guard<std::mutex> lock(mutex_);
@@ -85,7 +110,9 @@ void Context::memcpy_htod(DevicePtr dst, const void* src, uint64_t size) {
     if (mode_ == ExecutionMode::Functional) {
         std::memcpy(memory_.resolve(dst, size), src, size);
     }
+    const double start = clock_.now();
     clock_.advance(transfer_seconds(size));
+    record_memop("memcpy.htod", start, transfer_seconds(size), size);
 }
 
 void Context::memcpy_dtoh(void* dst, DevicePtr src, uint64_t size) {
@@ -99,7 +126,9 @@ void Context::memcpy_dtoh(void* dst, DevicePtr src, uint64_t size) {
             std::memset(dst, 0, size);
         }
     }
+    const double start = clock_.now();
     clock_.advance(transfer_seconds(size));
+    record_memop("memcpy.dtoh", start, transfer_seconds(size), size);
 }
 
 void Context::memcpy_dtod(DevicePtr dst, DevicePtr src, uint64_t size) {
@@ -114,7 +143,11 @@ void Context::memcpy_dtod(DevicePtr dst, DevicePtr src, uint64_t size) {
         }
     }
     // On-device copies run at full memory bandwidth (read + write).
-    clock_.advance(2.0 * static_cast<double>(size) / (device_.memory_bandwidth_gbs * 1e9));
+    const double seconds =
+        2.0 * static_cast<double>(size) / (device_.memory_bandwidth_gbs * 1e9);
+    const double start = clock_.now();
+    clock_.advance(seconds);
+    record_memop("memcpy.dtod", start, seconds, size);
 }
 
 void Context::memset_d8(DevicePtr dst, uint8_t value, uint64_t size) {
@@ -126,7 +159,10 @@ void Context::memset_d8(DevicePtr dst, uint8_t value, uint64_t size) {
             std::memset(memory_.resolve(dst, size), value, size);
         }
     }
-    clock_.advance(static_cast<double>(size) / (device_.memory_bandwidth_gbs * 1e9));
+    const double seconds = static_cast<double>(size) / (device_.memory_bandwidth_gbs * 1e9);
+    const double start = clock_.now();
+    clock_.advance(seconds);
+    record_memop("memset.d8", start, seconds, size);
 }
 
 const LaunchRecord& Context::launch(
@@ -171,12 +207,37 @@ const LaunchRecord& Context::launch(
         image.impl(params);
     }
 
+    if (trace::counters_enabled()) {
+        trace::counter("cuda.launches").add(1);
+    }
+
     // Host pays the fixed launch cost, the stream the kernel duration.
     // The mutex keeps the (clock advance, enqueue, record) triple coherent
     // under concurrent launches.
     std::lock_guard<std::mutex> lock(mutex_);
+    const double host_start = clock_.now();
     clock_.advance(device_.launch_overhead_us * 1e-6);
     double start = stream.enqueue(timing.seconds, clock_.now());
+
+    if (trace::spans_enabled()) {
+        trace::emit_complete(
+            trace::Domain::Sim,
+            "cuda",
+            "cuda.launch",
+            host_start,
+            device_.launch_overhead_us * 1e-6,
+            {{"kernel", image.lowered_name}});
+        trace::emit_complete_on(
+            trace::Domain::Sim,
+            trace::named_track("stream " + std::to_string(stream.id())),
+            "cuda",
+            "kernel.exec",
+            start,
+            timing.seconds,
+            {{"kernel", image.lowered_name},
+             {"grid", grid.to_string()},
+             {"block", block.to_string()}});
+    }
 
     last_launch_.kernel_name = image.lowered_name;
     last_launch_.grid = grid;

@@ -1,6 +1,7 @@
 #include "cudasim/module.hpp"
 
 #include "cudasim/context.hpp"
+#include "trace/trace.hpp"
 #include "util/errors.hpp"
 
 namespace kl::sim {
@@ -8,6 +9,9 @@ namespace kl::sim {
 Module::Module(std::vector<KernelImage> images): images_(std::move(images)) {
     if (images_.empty()) {
         throw CudaError("cuModuleLoadData: module contains no kernels");
+    }
+    if (trace::counters_enabled()) {
+        trace::counter("cuda.module_loads").add(1);
     }
 }
 

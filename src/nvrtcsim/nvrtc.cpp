@@ -6,6 +6,7 @@
 #include <mutex>
 
 #include "nvrtcsim/lexer.hpp"
+#include "trace/trace.hpp"
 #include "util/errors.hpp"
 #include "util/strings.hpp"
 #include "util/thread_pool.hpp"
@@ -275,6 +276,21 @@ std::string render_ptx(const sim::KernelImage& image, const CompileOptions& opts
 }  // namespace
 
 CompileResult Program::compile(const std::vector<std::string>& options) const {
+    try {
+        CompileResult result = compile_impl(options);
+        if (trace::counters_enabled()) {
+            trace::counter("nvrtc.compiles").add(1);
+        }
+        return result;
+    } catch (...) {
+        if (trace::counters_enabled()) {
+            trace::counter("nvrtc.compile_errors").add(1);
+        }
+        throw;
+    }
+}
+
+CompileResult Program::compile_impl(const std::vector<std::string>& options) const {
     register_builtin_kernels();
 
     CompileResult result;
@@ -439,15 +455,34 @@ CompileJob compile_async(
     Program program,
     std::vector<std::string> options,
     util::ThreadPool* pool) {
-    // Force the registries into existence before first touching the pool:
-    // the pool's destructor drains jobs at process exit, and those jobs
-    // must find the (later-destroyed) registries still alive.
+    // Force the registries (and the trace recorder) into existence before
+    // first touching the pool: the pool's destructor drains jobs at process
+    // exit, and those jobs must find the (later-destroyed) singletons still
+    // alive.
     register_builtin_kernels();
+    trace::ensure_initialized();
     util::ThreadPool& workers = pool != nullptr ? *pool : util::compile_pool();
+
+    if (trace::counters_enabled()) {
+        trace::counter("pool.jobs_submitted").add(1);
+    }
+    const double submitted = trace::host_now_seconds();
 
     auto state = std::make_shared<CompileJob::State>();
     workers.submit(
-        [state, program = std::move(program), options = std::move(options)] {
+        [state, program = std::move(program), options = std::move(options), submitted] {
+            if (trace::spans_enabled()) {
+                if (int worker = util::ThreadPool::current_worker_index(); worker >= 0) {
+                    trace::set_thread_name("compile-worker-" + std::to_string(worker));
+                }
+                trace::emit_complete(
+                    trace::Domain::Host,
+                    "compile",
+                    "compile.queue_wait",
+                    submitted,
+                    trace::host_now_seconds() - submitted);
+            }
+            trace::HostSpan span("compile", "compile.execute");
             CompileResult result;
             std::exception_ptr error;
             try {

@@ -68,6 +68,8 @@ class Program {
     }
 
   private:
+    CompileResult compile_impl(const std::vector<std::string>& options) const;
+
     std::string default_name_;
     std::string source_;
     std::string file_name_;

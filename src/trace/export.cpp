@@ -1,0 +1,185 @@
+#include "trace/export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <tuple>
+
+#include "util/errors.hpp"
+#include "util/strings.hpp"
+
+namespace kl::trace {
+
+namespace {
+
+Domain domain_from_pid(int pid) {
+    return pid == 1 ? Domain::Sim : Domain::Host;
+}
+
+std::string format_us(double us) {
+    char buffer[64];
+    if (us >= 1e6) {
+        std::snprintf(buffer, sizeof buffer, "%.3f s", us * 1e-6);
+    } else if (us >= 1e3) {
+        std::snprintf(buffer, sizeof buffer, "%.3f ms", us * 1e-3);
+    } else {
+        std::snprintf(buffer, sizeof buffer, "%.1f us", us);
+    }
+    return buffer;
+}
+
+}  // namespace
+
+std::string ParsedTrace::track_name(const TraceEvent& event) const {
+    const int pid = event.domain == Domain::Sim ? 1 : 2;
+    auto it = tracks.find({pid, static_cast<int64_t>(event.track)});
+    if (it != tracks.end()) {
+        return it->second;
+    }
+    return "track-" + std::to_string(event.track);
+}
+
+ParsedTrace parse_chrome_trace(const json::Value& root) {
+    ParsedTrace out;
+    if (!root.is_object() || !root.contains("traceEvents")) {
+        throw Error("not a Chrome trace: missing 'traceEvents'");
+    }
+
+    for (const json::Value& e : root["traceEvents"].as_array()) {
+        const std::string phase = e.get_string_or("ph", "");
+        const int pid = static_cast<int>(e.get_int_or("pid", 0));
+        const int64_t tid = e.get_int_or("tid", 0);
+
+        if (phase == "M") {
+            const std::string what = e.get_string_or("name", "");
+            if (const json::Value* args = e.find("args")) {
+                if (what == "thread_name") {
+                    out.tracks[{pid, tid}] = args->get_string_or("name", "");
+                } else if (what == "process_name") {
+                    out.processes[pid] = args->get_string_or("name", "");
+                }
+            }
+            continue;
+        }
+        if (phase != "X" && phase != "i") {
+            continue;  // not an event this library emits
+        }
+
+        TraceEvent event;
+        event.phase =
+            phase == "X" ? TraceEvent::Phase::Complete : TraceEvent::Phase::Instant;
+        event.domain = domain_from_pid(pid);
+        event.name = e.get_string_or("name", "");
+        event.category = e.get_string_or("cat", "");
+        event.start_us = e.get_double_or("ts", 0);
+        event.duration_us = e.get_double_or("dur", 0);
+        event.track = static_cast<uint32_t>(tid);
+        if (const json::Value* args = e.find("args")) {
+            for (const auto& [key, value] : args->as_object()) {
+                event.args.emplace_back(
+                    key, value.is_string() ? value.as_string() : value.dump());
+            }
+        }
+        out.events.push_back(std::move(event));
+    }
+
+    if (const json::Value* counters = root.find("klCounters")) {
+        for (const auto& [name, value] : counters->as_object()) {
+            out.counters.emplace(name, static_cast<uint64_t>(value.as_int()));
+        }
+    }
+    return out;
+}
+
+std::vector<FlameRow> aggregate_flame(const std::vector<TraceEvent>& events) {
+    std::map<std::tuple<Domain, std::string, std::string>, FlameRow> rows;
+    for (const TraceEvent& event : events) {
+        if (event.phase != TraceEvent::Phase::Complete) {
+            continue;
+        }
+        FlameRow& row = rows[{event.domain, event.category, event.name}];
+        row.domain = event.domain;
+        row.category = event.category;
+        row.name = event.name;
+        row.count++;
+        row.total_us += event.duration_us;
+        row.max_us = std::max(row.max_us, event.duration_us);
+    }
+
+    std::vector<FlameRow> out;
+    out.reserve(rows.size());
+    for (auto& [key, row] : rows) {
+        (void)key;
+        out.push_back(std::move(row));
+    }
+    std::sort(out.begin(), out.end(), [](const FlameRow& a, const FlameRow& b) {
+        if (a.domain != b.domain) {
+            return a.domain < b.domain;
+        }
+        return a.total_us > b.total_us;
+    });
+    return out;
+}
+
+std::string render_flame_summary(
+    const std::vector<TraceEvent>& events,
+    const std::map<std::string, uint64_t>& counters) {
+    const std::vector<FlameRow> rows = aggregate_flame(events);
+    std::string out;
+    char line[256];
+
+    for (Domain domain : {Domain::Sim, Domain::Host}) {
+        double domain_total = 0;
+        for (const FlameRow& row : rows) {
+            if (row.domain == domain) {
+                domain_total += row.total_us;
+            }
+        }
+        if (domain_total == 0) {
+            continue;
+        }
+        out += std::string("=== ") + domain_name(domain)
+            + " timeline ===\n"
+              "  span                                count      total       mean        max    share\n";
+        for (const FlameRow& row : rows) {
+            if (row.domain != domain) {
+                continue;
+            }
+            std::string label = row.category + "/" + row.name;
+            std::snprintf(
+                line,
+                sizeof line,
+                "  %-34s %6llu %10s %10s %10s   %5.1f%%\n",
+                label.c_str(),
+                static_cast<unsigned long long>(row.count),
+                format_us(row.total_us).c_str(),
+                format_us(row.total_us / static_cast<double>(row.count)).c_str(),
+                format_us(row.max_us).c_str(),
+                100.0 * row.total_us / domain_total);
+            out += line;
+        }
+        out += "\n";
+    }
+    if (rows.empty()) {
+        out += "(no spans recorded)\n\n";
+    }
+
+    if (!counters.empty()) {
+        out += "=== counters ===\n";
+        for (const auto& [name, value] : counters) {
+            std::snprintf(
+                line,
+                sizeof line,
+                "  %-40s %12llu\n",
+                name.c_str(),
+                static_cast<unsigned long long>(value));
+            out += line;
+        }
+    }
+    return out;
+}
+
+std::string live_flame_summary() {
+    return render_flame_summary(events_snapshot(), counters_snapshot());
+}
+
+}  // namespace kl::trace

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+#include "util/json.hpp"
+
+namespace kl::trace {
+
+/// A trace loaded back from its Chrome trace_event JSON form — the reader
+/// side of chrome_trace_json(), used by the kl-trace CLI and the
+/// round-trip tests. Only the events this library emits are understood
+/// ("X"/"i" phases plus "M" metadata); anything else is skipped.
+struct ParsedTrace {
+    std::vector<TraceEvent> events;
+    std::map<std::string, uint64_t> counters;
+    /// Track display names keyed by (pid, tid) as serialized.
+    std::map<std::pair<int, int64_t>, std::string> tracks;
+    /// Process display names keyed by pid.
+    std::map<int, std::string> processes;
+
+    std::string track_name(const TraceEvent& event) const;
+};
+
+/// Parses a Chrome trace produced by chrome_trace_json(). Throws
+/// kl::JsonError / kl::Error on structurally invalid input.
+ParsedTrace parse_chrome_trace(const json::Value& root);
+
+/// One row of the aggregated flame summary: all spans sharing (domain,
+/// category, name), with their count and total/mean/max duration.
+struct FlameRow {
+    Domain domain = Domain::Sim;
+    std::string category;
+    std::string name;
+    uint64_t count = 0;
+    double total_us = 0;
+    double max_us = 0;
+};
+
+/// Aggregates Complete events into per-(domain, category, name) rows,
+/// sorted by descending total duration within each domain.
+std::vector<FlameRow> aggregate_flame(const std::vector<TraceEvent>& events);
+
+/// Human-readable flame summary: the per-domain aggregate table plus,
+/// when `counters` is non-empty, a counters section.
+std::string render_flame_summary(
+    const std::vector<TraceEvent>& events,
+    const std::map<std::string, uint64_t>& counters);
+
+/// Flame summary of everything currently in the live recorder.
+std::string live_flame_summary();
+
+}  // namespace kl::trace

@@ -3,6 +3,7 @@
 #include <limits>
 #include <map>
 
+#include "trace/trace.hpp"
 #include "util/errors.hpp"
 #include "util/fs.hpp"
 
@@ -45,6 +46,11 @@ TuningSession::TuningSession(
 }
 
 TuningResult TuningSession::run() {
+    if (trace::counters_enabled()) {
+        trace::counter("tuner.sessions").add(1);
+    }
+    trace::HostSpan session_span("tuner", "tuner.session", {{"strategy", strategy_->name()}});
+
     strategy_->init(*space_, options_.seed);
 
     TuningResult result;
@@ -74,6 +80,9 @@ TuningResult TuningSession::run() {
         EvalOutcome outcome = runner_->evaluate(*proposal);
         wall += outcome.overhead_seconds + options_.per_eval_overhead_seconds;
         result.evaluations++;
+        if (trace::counters_enabled()) {
+            trace::counter("tuner.evals").add(1);
+        }
 
         EvalRecord record;
         record.config = *proposal;

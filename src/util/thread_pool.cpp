@@ -18,6 +18,8 @@ size_t default_worker_count() {
     return std::clamp<size_t>(n, 2, 16);
 }
 
+thread_local int t_worker_index = -1;
+
 }  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -26,7 +28,7 @@ ThreadPool::ThreadPool(size_t num_threads) {
     }
     workers_.reserve(num_threads);
     for (size_t i = 0; i < num_threads; i++) {
-        workers_.emplace_back([this] { worker_loop(); });
+        workers_.emplace_back([this, i] { worker_loop(static_cast<int>(i)); });
     }
 }
 
@@ -62,7 +64,12 @@ void ThreadPool::wait_idle() {
     idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
 }
 
-void ThreadPool::worker_loop() {
+int ThreadPool::current_worker_index() noexcept {
+    return t_worker_index;
+}
+
+void ThreadPool::worker_loop(int worker_index) {
+    t_worker_index = worker_index;
     for (;;) {
         std::function<void()> task;
         {

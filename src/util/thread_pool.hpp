@@ -41,8 +41,14 @@ class ThreadPool {
     /// Blocks until the queue is empty and every worker is idle.
     void wait_idle();
 
+    /// Index of the calling thread within its owning pool ([0,
+    /// worker_count)), or -1 when the caller is not a pool worker. Lets
+    /// tasks label themselves (e.g. trace thread tracks named
+    /// "compile-worker-N") without threading identity through every job.
+    static int current_worker_index() noexcept;
+
   private:
-    void worker_loop();
+    void worker_loop(int worker_index);
 
     mutable std::mutex mutex_;
     std::condition_variable work_cv_;

@@ -1,0 +1,357 @@
+// kl-docscheck: static consistency checks for the repository documentation,
+// run as part of the ctest suite so the docs cannot silently rot.
+//
+// Checks, over README.md and every markdown file under docs/:
+//   1. Relative links point at files that exist.
+//   2. Anchor links (`file.md#section`, `#section`) match a heading in the
+//      target file, using GitHub's heading-slug rules.
+//   3. Every KERNEL_LAUNCHER_* environment variable referenced anywhere in
+//      src/ or tools/ is documented in at least one markdown file, and
+//      every one the docs mention exists in the sources — both directions.
+//
+// Usage:
+//   kl-docscheck [repo-root]          (default: current directory)
+//
+// Exit status: 0 clean, 1 findings, 2 usage or I/O error.
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/errors.hpp"
+#include "util/fs.hpp"
+
+namespace stdfs = std::filesystem;
+
+namespace {
+
+struct Finding {
+    std::string file;
+    size_t line = 0;
+    std::string message;
+};
+
+/// Lines of `text`, with a flag marking lines inside ``` fences (those are
+/// code, not prose: links and headings in them are not checked, but env
+/// var mentions still count — docs document variables in code blocks too).
+struct DocLine {
+    std::string text;
+    size_t number = 0;
+    bool fenced = false;
+};
+
+std::vector<DocLine> split_doc_lines(const std::string& content) {
+    std::vector<DocLine> lines;
+    std::string current;
+    size_t number = 1;
+    bool fenced = false;
+    auto flush = [&] {
+        bool is_fence = current.rfind("```", 0) == 0 || current.rfind("~~~", 0) == 0;
+        if (is_fence) {
+            fenced = !fenced;
+        }
+        lines.push_back({current, number, fenced || is_fence});
+        current.clear();
+        number++;
+    };
+    for (char c : content) {
+        if (c == '\n') {
+            flush();
+        } else {
+            current.push_back(c);
+        }
+    }
+    if (!current.empty()) {
+        flush();
+    }
+    return lines;
+}
+
+/// GitHub's heading-to-anchor slug: lowercase, punctuation removed,
+/// spaces become hyphens; repeated headings get -1, -2, ... suffixes.
+std::string slugify(const std::string& heading) {
+    std::string slug;
+    for (char c : heading) {
+        unsigned char u = static_cast<unsigned char>(c);
+        if (std::isalnum(u)) {
+            slug.push_back(static_cast<char>(std::tolower(u)));
+        } else if (c == ' ' || c == '-') {
+            slug.push_back('-');
+        } else if (c == '_') {
+            slug.push_back('_');
+        }
+        // everything else (backticks, dots, slashes, colons, ...) drops out
+    }
+    return slug;
+}
+
+/// All anchor slugs of one markdown file.
+std::set<std::string> heading_anchors(const std::vector<DocLine>& lines) {
+    std::set<std::string> anchors;
+    std::map<std::string, int> seen;
+    for (const DocLine& line : lines) {
+        if (line.fenced) {
+            continue;
+        }
+        size_t hashes = 0;
+        while (hashes < line.text.size() && line.text[hashes] == '#') {
+            hashes++;
+        }
+        if (hashes == 0 || hashes > 6 || hashes >= line.text.size()
+            || line.text[hashes] != ' ') {
+            continue;
+        }
+        std::string slug = slugify(line.text.substr(hashes + 1));
+        int n = seen[slug]++;
+        anchors.insert(n == 0 ? slug : slug + "-" + std::to_string(n));
+    }
+    return anchors;
+}
+
+/// Markdown links on one line: every `[...](target)`, including images.
+std::vector<std::string> extract_links(const std::string& line) {
+    std::vector<std::string> targets;
+    size_t pos = 0;
+    while ((pos = line.find('[', pos)) != std::string::npos) {
+        size_t close = line.find(']', pos);
+        if (close == std::string::npos) {
+            break;
+        }
+        if (close + 1 >= line.size() || line[close + 1] != '(') {
+            pos = close + 1;
+            continue;
+        }
+        size_t end = line.find(')', close + 2);
+        if (end == std::string::npos) {
+            break;
+        }
+        std::string target = line.substr(close + 2, end - close - 2);
+        // Strip an optional title: [text](file.md "title")
+        size_t space = target.find(' ');
+        if (space != std::string::npos) {
+            target = target.substr(0, space);
+        }
+        targets.push_back(target);
+        pos = end + 1;
+    }
+    return targets;
+}
+
+bool is_external(const std::string& target) {
+    return target.rfind("http://", 0) == 0 || target.rfind("https://", 0) == 0
+        || target.rfind("mailto:", 0) == 0;
+}
+
+/// KERNEL_LAUNCHER_* identifiers in a blob of text.
+std::set<std::string> extract_env_vars(const std::string& text) {
+    static const std::string kPrefix = "KERNEL_LAUNCHER_";
+    std::set<std::string> vars;
+    size_t pos = 0;
+    while ((pos = text.find(kPrefix, pos)) != std::string::npos) {
+        // Must not be the tail of a longer identifier.
+        if (pos > 0) {
+            char before = text[pos - 1];
+            if (std::isalnum(static_cast<unsigned char>(before)) || before == '_') {
+                pos += kPrefix.size();
+                continue;
+            }
+        }
+        size_t end = pos + kPrefix.size();
+        while (end < text.size()
+               && (std::isupper(static_cast<unsigned char>(text[end]))
+                   || std::isdigit(static_cast<unsigned char>(text[end]))
+                   || text[end] == '_')) {
+            end++;
+        }
+        if (end > pos + kPrefix.size()) {
+            std::string var = text.substr(pos, end - pos);
+            while (!var.empty() && var.back() == '_') {
+                var.pop_back();  // "KERNEL_LAUNCHER_" used as a prose prefix
+            }
+            if (var.size() > kPrefix.size()) {
+                vars.insert(var);
+            }
+        }
+        pos = end;
+    }
+    return vars;
+}
+
+std::vector<std::string> markdown_files(const std::string& root) {
+    std::vector<std::string> files;
+    const std::string readme = kl::path_join(root, "README.md");
+    if (kl::file_exists(readme)) {
+        files.push_back(readme);
+    }
+    const stdfs::path docs = stdfs::path(root) / "docs";
+    if (stdfs::is_directory(docs)) {
+        for (const auto& entry : stdfs::recursive_directory_iterator(docs)) {
+            if (entry.is_regular_file() && entry.path().extension() == ".md") {
+                files.push_back(entry.path().string());
+            }
+        }
+    }
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+std::vector<std::string> source_files(const std::string& root) {
+    std::vector<std::string> files;
+    for (const char* dir : {"src", "tools"}) {
+        const stdfs::path base = stdfs::path(root) / dir;
+        if (!stdfs::is_directory(base)) {
+            continue;
+        }
+        for (const auto& entry : stdfs::recursive_directory_iterator(base)) {
+            if (!entry.is_regular_file()) {
+                continue;
+            }
+            const std::string ext = entry.path().extension().string();
+            if (ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cu") {
+                files.push_back(entry.path().string());
+            }
+        }
+    }
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+void check_links(
+    const std::string& root,
+    const std::string& file,
+    const std::vector<DocLine>& lines,
+    const std::set<std::string>& own_anchors,
+    std::vector<Finding>& findings) {
+    const stdfs::path dir = stdfs::path(file).parent_path();
+    for (const DocLine& line : lines) {
+        if (line.fenced) {
+            continue;
+        }
+        for (const std::string& target : extract_links(line.text)) {
+            if (target.empty() || is_external(target)) {
+                continue;
+            }
+            const size_t hash = target.find('#');
+            const std::string path_part =
+                hash == std::string::npos ? target : target.substr(0, hash);
+            const std::string anchor =
+                hash == std::string::npos ? "" : target.substr(hash + 1);
+
+            if (path_part.empty()) {
+                // Same-file anchor.
+                if (!anchor.empty() && own_anchors.count(anchor) == 0) {
+                    findings.push_back(
+                        {file, line.number, "broken anchor '#" + anchor + "'"});
+                }
+                continue;
+            }
+
+            const stdfs::path resolved = path_part[0] == '/'
+                ? stdfs::path(root) / path_part.substr(1)
+                : dir / path_part;
+            if (!stdfs::exists(resolved)) {
+                findings.push_back(
+                    {file, line.number, "broken link '" + target + "' (no such file)"});
+                continue;
+            }
+            if (!anchor.empty() && resolved.extension() == ".md") {
+                std::set<std::string> anchors = heading_anchors(
+                    split_doc_lines(kl::read_text_file(resolved.string())));
+                if (anchors.count(anchor) == 0) {
+                    findings.push_back(
+                        {file,
+                         line.number,
+                         "broken anchor '" + target + "' (no such heading)"});
+                }
+            }
+        }
+    }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::string root = ".";
+    if (argc == 2) {
+        root = argv[1];
+    } else if (argc > 2) {
+        std::fprintf(stderr, "usage: kl-docscheck [repo-root]\n");
+        return 2;
+    }
+
+    try {
+        std::vector<Finding> findings;
+
+        const std::vector<std::string> docs = markdown_files(root);
+        if (docs.empty()) {
+            std::fprintf(stderr, "kl-docscheck: no markdown files under '%s'\n", root.c_str());
+            return 2;
+        }
+
+        // Pass 1: links and anchors.
+        std::map<std::string, std::set<std::string>> doc_env_vars;
+        std::set<std::string> all_doc_vars;
+        for (const std::string& file : docs) {
+            const std::string content = kl::read_text_file(file);
+            const std::vector<DocLine> lines = split_doc_lines(content);
+            check_links(root, file, lines, heading_anchors(lines), findings);
+            std::set<std::string> vars = extract_env_vars(content);
+            all_doc_vars.insert(vars.begin(), vars.end());
+            doc_env_vars.emplace(file, std::move(vars));
+        }
+
+        // Pass 2: env vars named in the sources.
+        std::map<std::string, std::string> src_var_origin;
+        for (const std::string& file : source_files(root)) {
+            for (const std::string& var : extract_env_vars(kl::read_text_file(file))) {
+                src_var_origin.emplace(var, file);
+            }
+        }
+
+        // Both directions: undocumented source vars, phantom doc vars.
+        for (const auto& [var, origin] : src_var_origin) {
+            if (all_doc_vars.count(var) == 0) {
+                findings.push_back(
+                    {origin, 0, "environment variable " + var + " is not documented"});
+            }
+        }
+        for (const auto& [file, vars] : doc_env_vars) {
+            for (const std::string& var : vars) {
+                if (src_var_origin.count(var) == 0) {
+                    findings.push_back(
+                        {file, 0, "documented variable " + var + " does not exist in src/"});
+                }
+            }
+        }
+
+        for (const Finding& finding : findings) {
+            if (finding.line > 0) {
+                std::fprintf(
+                    stderr,
+                    "%s:%zu: %s\n",
+                    finding.file.c_str(),
+                    finding.line,
+                    finding.message.c_str());
+            } else {
+                std::fprintf(stderr, "%s: %s\n", finding.file.c_str(), finding.message.c_str());
+            }
+        }
+        if (findings.empty()) {
+            std::printf(
+                "kl-docscheck: %zu markdown files, %zu env vars, all consistent\n",
+                docs.size(),
+                src_var_origin.size());
+            return 0;
+        }
+        std::fprintf(stderr, "kl-docscheck: %zu findings\n", findings.size());
+        return 1;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "kl-docscheck: %s\n", e.what());
+        return 2;
+    }
+}

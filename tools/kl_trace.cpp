@@ -1,0 +1,179 @@
+// kl-trace: offline reader for the trace files the library writes when
+// KERNEL_LAUNCHER_TRACE_FILE is set. Replays a Chrome trace_event JSON
+// dump (mode "full") or a counters dump (mode "counters") into the same
+// human-readable flame summary that trace::live_flame_summary() renders
+// in-process.
+//
+// Usage:
+//   kl-trace [options] trace.json
+//
+// Options:
+//   --summary        flame summary of the spans plus counters (default)
+//   --counters       counters only, one `name value` line each
+//   --events         flat span/instant listing, one event per line
+//   --category CAT   restrict --events / --summary to one category
+//                    (repeatable)
+//
+// Exit status: 0 on success, 1 when the file cannot be parsed as a trace,
+// 2 on usage errors.
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "trace/export.hpp"
+#include "trace/trace.hpp"
+#include "util/errors.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+enum class Output {
+    Summary,
+    Counters,
+    Events,
+};
+
+struct Options {
+    Output output = Output::Summary;
+    std::vector<std::string> categories;
+    std::string path;
+};
+
+void usage(std::FILE* out) {
+    std::fprintf(
+        out,
+        "usage: kl-trace [--summary | --counters | --events]\n"
+        "                [--category CAT]... trace.json\n");
+}
+
+bool category_selected(const Options& options, const std::string& category) {
+    if (options.categories.empty()) {
+        return true;
+    }
+    return std::find(options.categories.begin(), options.categories.end(), category)
+        != options.categories.end();
+}
+
+std::vector<kl::trace::TraceEvent> filtered_events(
+    const kl::trace::ParsedTrace& trace,
+    const Options& options) {
+    std::vector<kl::trace::TraceEvent> out;
+    for (const kl::trace::TraceEvent& event : trace.events) {
+        if (category_selected(options, event.category)) {
+            out.push_back(event);
+        }
+    }
+    return out;
+}
+
+void print_events(const kl::trace::ParsedTrace& trace, const Options& options) {
+    for (const kl::trace::TraceEvent& event : filtered_events(trace, options)) {
+        std::string line = kl::trace::domain_name(event.domain);
+        line += "  ";
+        line += event.category + "/" + event.name;
+        char buffer[96];
+        if (event.phase == kl::trace::TraceEvent::Phase::Complete) {
+            std::snprintf(
+                buffer,
+                sizeof buffer,
+                "  [%.3f ms + %.3f ms]",
+                event.start_us * 1e-3,
+                event.duration_us * 1e-3);
+        } else {
+            std::snprintf(buffer, sizeof buffer, "  [@%.3f ms]", event.start_us * 1e-3);
+        }
+        line += buffer;
+        line += "  on ";
+        line += trace.track_name(event);
+        for (const auto& [key, value] : event.args) {
+            line += "  " + key + "=" + value;
+        }
+        std::printf("%s\n", line.c_str());
+    }
+}
+
+void print_counters(const kl::trace::ParsedTrace& trace) {
+    for (const auto& [name, value] : trace.counters) {
+        std::printf("%-28s %" PRIu64 "\n", name.c_str(), value);
+    }
+}
+
+int run(const Options& options) {
+    kl::json::Value root = kl::json::parse_file(options.path);
+
+    // A counters-only dump ({"counters": {...}}) has no events at all;
+    // normalize it into a ParsedTrace so every output mode works on both.
+    kl::trace::ParsedTrace trace;
+    if (const kl::json::Value* counters = root.find("counters")) {
+        for (const auto& [name, value] : counters->as_object()) {
+            trace.counters.emplace(name, static_cast<uint64_t>(value.as_double()));
+        }
+    } else {
+        trace = kl::trace::parse_chrome_trace(root);
+    }
+
+    switch (options.output) {
+        case Output::Summary: {
+            std::string summary = kl::trace::render_flame_summary(
+                filtered_events(trace, options), trace.counters);
+            std::fputs(summary.c_str(), stdout);
+            break;
+        }
+        case Output::Counters:
+            print_counters(trace);
+            break;
+        case Output::Events:
+            print_events(trace, options);
+            break;
+    }
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    Options options;
+    for (int i = 1; i < argc; i++) {
+        const std::string arg = argv[i];
+        if (arg == "--summary") {
+            options.output = Output::Summary;
+        } else if (arg == "--counters") {
+            options.output = Output::Counters;
+        } else if (arg == "--events") {
+            options.output = Output::Events;
+        } else if (arg == "--category") {
+            if (i + 1 >= argc) {
+                usage(stderr);
+                return 2;
+            }
+            options.categories.emplace_back(argv[++i]);
+        } else if (arg == "--help" || arg == "-h") {
+            usage(stdout);
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "kl-trace: unknown option '%s'\n", arg.c_str());
+            usage(stderr);
+            return 2;
+        } else if (options.path.empty()) {
+            options.path = arg;
+        } else {
+            usage(stderr);
+            return 2;
+        }
+    }
+    if (options.path.empty()) {
+        usage(stderr);
+        return 2;
+    }
+
+    try {
+        return run(options);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "kl-trace: %s\n", e.what());
+        return 1;
+    }
+}
