@@ -493,7 +493,7 @@ KernelBuilder& KernelBuilder::output_arg(size_t index) {
     return *this;
 }
 
-KernelCompiler::Output KernelCompiler::compile(
+KernelCompiler::Lowered KernelCompiler::lower(
     const KernelDef& def,
     const Config& config,
     const sim::DeviceProperties& device,
@@ -506,31 +506,31 @@ KernelCompiler::Output KernelCompiler::compile(
 
     LaunchContext ctx(nullptr, &config, problem);
 
-    std::vector<std::string> options;
-    options.push_back(
+    Lowered out;
+    out.options.push_back(
         "--gpu-architecture=compute_" + std::to_string(device.compute_capability_major)
         + std::to_string(device.compute_capability_minor));
     // Every tunable parameter is exposed to the kernel as a preprocessor
     // definition (mirroring Kernel Tuner's behavior), followed by explicit
     // definitions from the kernel definition.
     for (const TunableParam& param : def.space.params()) {
-        options.push_back(
+        out.options.push_back(
             "-D" + param.name + "=" + config.at(param.name).to_define());
     }
     for (const auto& [name, expr] : def.defines) {
-        options.push_back("-D" + name + "=" + expr.eval(ctx).to_define());
+        out.options.push_back("-D" + name + "=" + expr.eval(ctx).to_define());
     }
     for (const std::string& flag : def.compiler_flags) {
-        options.push_back(flag);
+        out.options.push_back(flag);
     }
 
-    std::string source_text;
     try {
-        source_text = def.source.read();
+        out.source = def.source.read();
     } catch (const IoError& e) {
         throw IoError(definition_context(def) + e.what());
     }
-    rtc::Program program(def.name, std::move(source_text), def.source.file_name());
+    out.file_name = def.source.file_name();
+
     if (!def.template_args.empty()) {
         std::string expression = def.name + "<";
         for (size_t i = 0; i < def.template_args.size(); i++) {
@@ -540,16 +540,34 @@ KernelCompiler::Output KernelCompiler::compile(
             expression += def.template_args[i].eval(ctx).to_define();
         }
         expression += ">";
-        program.add_name_expression(std::move(expression));
+        out.name_expression = std::move(expression);
+    }
+    return out;
+}
+
+KernelCompiler::Output KernelCompiler::compile_lowered(
+    const KernelDef& def,
+    const Lowered& lowered) {
+    rtc::Program program(def.name, lowered.source, lowered.file_name);
+    if (!lowered.name_expression.empty()) {
+        program.add_name_expression(lowered.name_expression);
     }
 
-    rtc::CompileResult compiled = program.compile(options);
+    rtc::CompileResult compiled = program.compile(lowered.options);
 
     Output out;
     out.image = std::move(compiled.images.front());
     out.compile_seconds = compiled.compile_seconds;
     out.log = std::move(compiled.log);
     return out;
+}
+
+KernelCompiler::Output KernelCompiler::compile(
+    const KernelDef& def,
+    const Config& config,
+    const sim::DeviceProperties& device,
+    const ProblemSize* problem) {
+    return compile_lowered(def, lower(def, config, device, problem));
 }
 
 }  // namespace kl::core

@@ -204,10 +204,37 @@ struct KernelCompiler {
         std::string log;
     };
 
+    /// The fully-lowered compile request of one (definition, configuration,
+    /// device) triple: resolved source text plus every option NVRTC will
+    /// see, in order. These are exactly the inputs that determine the
+    /// compiled bytes — which is why the persistent compile cache
+    /// (`src/rtccache/`, docs/CACHING.md) derives its content-hash key
+    /// from a Lowered request, not from the definition.
+    struct Lowered {
+        std::vector<std::string> options;  ///< arch + -D defines + flags, in order
+        std::string source;                ///< resolved CUDA source text
+        std::string file_name;             ///< for diagnostics
+        std::string name_expression;  ///< mangled instantiation; empty = base name
+    };
+
+    /// Evaluates defines/template arguments against `config` (and
+    /// `problem`, when known) and resolves the source text. Throws the
+    /// same errors the compile itself would for an invalid configuration
+    /// or an unreadable source.
+    static Lowered lower(
+        const KernelDef& def,
+        const Config& config,
+        const sim::DeviceProperties& device,
+        const ProblemSize* problem = nullptr);
+
+    /// Runs the (simulated) NVRTC over an already-lowered request.
+    static Output compile_lowered(const KernelDef& def, const Lowered& lowered);
+
     /// Throws kl::CompileError (with log) on failure. The problem size,
     /// when known (it always is at launch time, since instances are
     /// compiled per problem size, §4.5), is available to `define()`
     /// expressions — e.g. baking PROBLEM_SIZE_X into the kernel.
+    /// Equivalent to compile_lowered(def, lower(...)).
     static Output compile(
         const KernelDef& def,
         const Config& config,

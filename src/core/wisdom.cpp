@@ -222,6 +222,7 @@ WisdomSettings WisdomSettings::from_env() {
     if (auto lint = get_env("KERNEL_LAUNCHER_LINT")) {
         settings.lint_mode_ = parse_lint_mode(*lint);
     }
+    settings.cache_ = rtccache::Settings::from_env();
     return settings;
 }
 

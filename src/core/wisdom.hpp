@@ -6,6 +6,7 @@
 
 #include "core/config.hpp"
 #include "core/problem_size.hpp"
+#include "rtccache/rtccache.hpp"
 #include "util/json.hpp"
 
 namespace kl::core {
@@ -102,11 +103,12 @@ LintMode parse_lint_mode(const std::string& text);
 
 /// Process-level settings: where wisdom files and captures live, which
 /// kernels to capture, whether compile-ahead requests run in the
-/// background, and how strict registration-time linting is. Read from the
-/// environment (KERNEL_LAUNCHER_WISDOM, KERNEL_LAUNCHER_CAPTURE,
+/// background, how strict registration-time linting is, and whether the
+/// persistent compile cache is consulted. Read from the environment
+/// (KERNEL_LAUNCHER_WISDOM, KERNEL_LAUNCHER_CAPTURE,
 /// KERNEL_LAUNCHER_CAPTURE_DIR, KERNEL_LAUNCHER_ASYNC,
-/// KERNEL_LAUNCHER_LINT) or constructed explicitly by tests and
-/// experiments.
+/// KERNEL_LAUNCHER_LINT, KERNEL_LAUNCHER_CACHE[_DIR|_LIMIT]) or
+/// constructed explicitly by tests and experiments.
 class WisdomSettings {
   public:
     /// Defaults: wisdom dir ".", capture dir ".", no capture patterns,
@@ -141,6 +143,24 @@ class WisdomSettings {
         lint_mode_ = mode;
         return *this;
     }
+    /// Persistent compile-cache policy (KERNEL_LAUNCHER_CACHE; default
+    /// off). Read lets launches reuse previously compiled instances;
+    /// ReadWrite additionally stores fresh compiles.
+    WisdomSettings& cache_mode(rtccache::Mode mode) {
+        cache_.mode = mode;
+        return *this;
+    }
+    /// Cache directory (KERNEL_LAUNCHER_CACHE_DIR); empty selects the
+    /// per-user default, see rtccache::Settings::default_dir().
+    WisdomSettings& cache_dir(std::string dir) {
+        cache_.dir = std::move(dir);
+        return *this;
+    }
+    /// Total on-disk size bound in bytes (KERNEL_LAUNCHER_CACHE_LIMIT).
+    WisdomSettings& cache_limit(uint64_t bytes) {
+        cache_.limit_bytes = bytes;
+        return *this;
+    }
 
     const std::string& wisdom_dir() const noexcept {
         return wisdom_dir_;
@@ -157,6 +177,9 @@ class WisdomSettings {
     LintMode lint_mode() const noexcept {
         return lint_mode_;
     }
+    const rtccache::Settings& cache_settings() const noexcept {
+        return cache_;
+    }
 
     /// Path of the wisdom file for a kernel: <wisdom_dir>/<kernel>.wisdom.json
     std::string wisdom_path(const std::string& kernel_name) const;
@@ -170,6 +193,7 @@ class WisdomSettings {
     std::vector<std::string> capture_patterns_;
     bool async_compile_ = true;
     LintMode lint_mode_ = LintMode::Warn;
+    rtccache::Settings cache_;
 };
 
 /// Builds the provenance object recorded with each wisdom record.

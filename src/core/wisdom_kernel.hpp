@@ -20,14 +20,15 @@ namespace kl::core {
 /// the compile-ahead pipeline.
 struct OverheadBreakdown {
     double wisdom_seconds = 0;       ///< reading + matching the wisdom file
-    double compile_seconds = 0;      ///< nvrtcCompileProgram
+    double cache_seconds = 0;        ///< reading a persistent compile-cache entry
+    double compile_seconds = 0;      ///< nvrtcCompileProgram (zero on a disk hit)
     double module_load_seconds = 0;  ///< cuModuleLoad
     double wait_seconds = 0;         ///< blocked on an in-flight background compile
     double launch_seconds = 0;       ///< cuLaunchKernel (host-side)
 
     double total() const noexcept {
-        return wisdom_seconds + compile_seconds + module_load_seconds + wait_seconds
-            + launch_seconds;
+        return wisdom_seconds + cache_seconds + compile_seconds + module_load_seconds
+            + wait_seconds + launch_seconds;
     }
 };
 
@@ -42,8 +43,17 @@ struct OverheadBreakdown {
 ///
 /// Each instance moves through a small state machine:
 ///
-///     Uncompiled --(launch)--------> Compiling --> Ready | Failed
-///     Uncompiled --(compile_ahead)-> Compiling --> Ready | Failed
+///     Uncompiled --(launch)--------> DiskHit | Compiling --> Ready | Failed
+///     Uncompiled --(compile_ahead)-> DiskHit | Compiling --> Ready | Failed
+///
+/// A build first probes the persistent compile cache (src/rtccache/,
+/// enabled with KERNEL_LAUNCHER_CACHE=read|readwrite). On a hit the
+/// instance passes through DiskHit instead of staying in Compiling: the
+/// compiled image is reconstructed from the on-disk entry, nvrtc is
+/// skipped entirely, and only the modeled entry-read cost is charged
+/// (OverheadBreakdown::cache_seconds). On a miss the compile proceeds as
+/// before and — under readwrite — its result is persisted for the next
+/// process.
 ///
 /// A synchronous launch compiles in the calling thread and pays the full
 /// Figure 5 first-launch cost. compile_ahead() starts the build on the
@@ -65,6 +75,7 @@ class WisdomKernel {
     enum class InstanceState {
         Uncompiled,  ///< never requested
         Compiling,   ///< build in flight (background or another thread)
+        DiskHit,     ///< build in flight, satisfied from the persistent cache
         Ready,       ///< module loaded; launches are warm
         Failed,      ///< compile error, rethrown on launch
     };
@@ -80,6 +91,10 @@ class WisdomKernel {
         uint64_t cold_launches = 0;
         uint64_t launch_waits = 0;
         uint64_t warm_hits = 0;
+        /// Persistent-cache outcomes; counted only when the cache is
+        /// readable (KERNEL_LAUNCHER_CACHE=read|readwrite).
+        uint64_t disk_hits = 0;
+        uint64_t disk_misses = 0;
     };
 
     WisdomKernel(KernelDef def, WisdomSettings settings = WisdomSettings::from_env());
@@ -169,9 +184,12 @@ class WisdomKernel {
     static BuildOutcome build_instance(
         const KernelDef& def,
         const std::string& wisdom_path,
+        const rtccache::Settings& cache_settings,
         const sim::DeviceProperties& device,
         const ProblemSize& problem,
-        double sim_start);
+        double sim_start,
+        SharedState& state,
+        Instance& instance);
 
     static void publish(
         SharedState& state,

@@ -1,0 +1,37 @@
+#include "rtccache/lock.hpp"
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+namespace kl::rtccache {
+
+FileLock::FileLock(const std::string& path, Type type) {
+    int fd;
+    do {
+        fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+    } while (fd < 0 && errno == EINTR);
+    if (fd < 0) {
+        return;  // degrade to unlocked operation
+    }
+    int rc;
+    do {
+        rc = ::flock(fd, type == Type::Exclusive ? LOCK_EX : LOCK_SH);
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0) {
+        ::close(fd);
+        return;
+    }
+    fd_ = fd;
+}
+
+FileLock::~FileLock() {
+    if (fd_ >= 0) {
+        // close() releases the flock; no explicit LOCK_UN needed.
+        ::close(fd_);
+    }
+}
+
+}  // namespace kl::rtccache

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <string>
+
+namespace kl::rtccache {
+
+/// RAII advisory file lock (POSIX flock) guarding mutations of a shared
+/// cache directory against other *processes*. Locks are taken on a
+/// dedicated `.lock` sentinel file, never on entry files, so entry renames
+/// stay atomic and lock-free readers are safe.
+///
+/// flock is per-open-file-description, so two FileLock objects in one
+/// process synchronize against each other too — but in-process callers are
+/// expected to serialize through DiskCache, which takes at most one lock
+/// per operation (flock is not recursive).
+///
+/// Lock acquisition failures (unwritable directory, exhausted descriptors)
+/// degrade to running unlocked rather than throwing: a cache must never
+/// turn a compilable kernel into an error. `held()` reports the truth.
+class FileLock {
+  public:
+    enum class Type {
+        Shared,     ///< concurrent readers (flock LOCK_SH)
+        Exclusive,  ///< single mutator (flock LOCK_EX)
+    };
+
+    /// Opens (creating if needed) `path` and blocks until the lock is held.
+    FileLock(const std::string& path, Type type);
+    ~FileLock();
+
+    FileLock(const FileLock&) = delete;
+    FileLock& operator=(const FileLock&) = delete;
+
+    bool held() const noexcept {
+        return fd_ >= 0;
+    }
+
+  private:
+    int fd_ = -1;
+};
+
+}  // namespace kl::rtccache

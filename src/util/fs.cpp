@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -43,6 +44,32 @@ uint64_t file_size(const std::string& path) {
         throw IoError("cannot stat '" + path + "': " + ec.message());
     }
     return size;
+}
+
+void rename_file(const std::string& from, const std::string& to) {
+    std::error_code ec;
+    stdfs::rename(from, to, ec);
+    if (ec) {
+        throw IoError("cannot rename '" + from + "' to '" + to + "': " + ec.message());
+    }
+}
+
+double file_mtime_seconds(const std::string& path) {
+    std::error_code ec;
+    stdfs::file_time_type t = stdfs::last_write_time(path, ec);
+    if (ec) {
+        throw IoError("cannot stat '" + path + "': " + ec.message());
+    }
+    using namespace std::chrono;
+    return duration<double>(t.time_since_epoch()).count();
+}
+
+void touch_file(const std::string& path) {
+    std::error_code ec;
+    stdfs::last_write_time(path, stdfs::file_time_type::clock::now(), ec);
+    if (ec) {
+        throw IoError("cannot touch '" + path + "': " + ec.message());
+    }
 }
 
 std::vector<std::string> list_directory(const std::string& dir) {

@@ -15,6 +15,18 @@ void create_directories(const std::string& path);
 void remove_file(const std::string& path);
 uint64_t file_size(const std::string& path);
 
+/// Atomically replaces `to` with `from` (same filesystem). This is the
+/// primitive behind crash-safe cache/wisdom writes: write a temp file,
+/// then rename over the destination.
+void rename_file(const std::string& from, const std::string& to);
+
+/// Last-modification time as seconds since an arbitrary (but stable within
+/// the process) epoch; orders files for LRU eviction.
+double file_mtime_seconds(const std::string& path);
+
+/// Bumps the file's modification time to now (an LRU "use" mark).
+void touch_file(const std::string& path);
+
 /// Lists regular files in a directory (non-recursive), sorted by name.
 /// Returns an empty list when the directory does not exist.
 std::vector<std::string> list_directory(const std::string& dir);

@@ -8,6 +8,9 @@
 //   3. Every KERNEL_LAUNCHER_* environment variable referenced anywhere in
 //      src/ or tools/ is documented in at least one markdown file, and
 //      every one the docs mention exists in the sources — both directions.
+//   4. Every binary built under tools/ (each add_executable target in
+//      tools/CMakeLists.txt) is mentioned in README.md, so a new CLI
+//      cannot ship without an entry in the tools table.
 //
 // Usage:
 //   kl-docscheck [repo-root]          (default: current directory)
@@ -221,6 +224,32 @@ std::vector<std::string> source_files(const std::string& root) {
     return files;
 }
 
+/// Names of the add_executable targets declared in tools/CMakeLists.txt.
+std::vector<std::string> tool_targets(const std::string& root) {
+    std::vector<std::string> targets;
+    const std::string path = kl::path_join(root, "tools/CMakeLists.txt");
+    if (!kl::file_exists(path)) {
+        return targets;
+    }
+    const std::string text = kl::read_text_file(path);
+    static const std::string kMarker = "add_executable(";
+    size_t pos = 0;
+    while ((pos = text.find(kMarker, pos)) != std::string::npos) {
+        size_t start = pos + kMarker.size();
+        size_t end = start;
+        while (end < text.size() && !std::isspace(static_cast<unsigned char>(text[end]))
+               && text[end] != ')') {
+            end++;
+        }
+        if (end > start) {
+            targets.push_back(text.substr(start, end - start));
+        }
+        pos = end;
+    }
+    std::sort(targets.begin(), targets.end());
+    return targets;
+}
+
 void check_links(
     const std::string& root,
     const std::string& file,
@@ -329,6 +358,21 @@ int main(int argc, char** argv) {
             }
         }
 
+        // Pass 3: every tools/ binary is mentioned in the README.
+        const std::string readme_path = kl::path_join(root, "README.md");
+        const std::vector<std::string> tools = tool_targets(root);
+        if (kl::file_exists(readme_path)) {
+            const std::string readme = kl::read_text_file(readme_path);
+            for (const std::string& tool : tools) {
+                if (readme.find(tool) == std::string::npos) {
+                    findings.push_back(
+                        {readme_path,
+                         0,
+                         "tools binary '" + tool + "' is not mentioned in the README"});
+                }
+            }
+        }
+
         for (const Finding& finding : findings) {
             if (finding.line > 0) {
                 std::fprintf(
@@ -343,9 +387,10 @@ int main(int argc, char** argv) {
         }
         if (findings.empty()) {
             std::printf(
-                "kl-docscheck: %zu markdown files, %zu env vars, all consistent\n",
+                "kl-docscheck: %zu markdown files, %zu env vars, %zu tools, all consistent\n",
                 docs.size(),
-                src_var_origin.size());
+                src_var_origin.size(),
+                tools.size());
             return 0;
         }
         std::fprintf(stderr, "kl-docscheck: %zu findings\n", findings.size());
