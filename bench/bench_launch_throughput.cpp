@@ -1,0 +1,165 @@
+// Launch-submission throughput: eager warm WisdomKernel launches versus
+// pre-baked GraphExec replays (docs/GRAPHS.md). Every eager launch pays
+// wisdom-based config selection, lint, geometry evaluation and argument
+// marshalling; a graph pays all of that once at instantiation, so replay
+// is a single locked submission of pre-baked nodes. This harness measures
+// host wall-clock submission rates (launches/second) single-threaded and
+// with 8 threads hammering one kernel / one shared executable.
+//
+// Build & run:  ./build/bench/bench_launch_throughput
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "core/kernel_launcher.hpp"
+#include "cudasim/context.hpp"
+#include "graph/graph.hpp"
+#include "nvrtcsim/registry.hpp"
+#include "util/fs.hpp"
+
+namespace klc = ::kl::core;
+namespace klg = ::kl::graph;
+using ::kl::sim::Context;
+
+namespace {
+
+constexpr int kThreads = 8;
+constexpr int kGraphLaunches = 32;  // launch nodes per recorded graph
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+klc::KernelBuilder vector_add_builder() {
+    auto builder = klc::KernelBuilder(
+        "vector_add",
+        klc::KernelSource::inline_source(
+            "vector_add.cu", ::kl::rtc::builtin_kernel_source("vector_add")));
+    auto block_size = builder.tune("block_size", {128, 256});
+    builder.problem_size(klc::arg3).template_args(block_size).block_size(block_size);
+    return builder;
+}
+
+/// Launches/second of `launches` eager warm launches on one thread.
+double eager_rate(
+    klc::WisdomKernel& kernel,
+    klc::DeviceArray<float>& c,
+    klc::DeviceArray<float>& a,
+    klc::DeviceArray<float>& b,
+    int n,
+    int launches) {
+    auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < launches; i++) {
+        kernel.launch(c, a, b, n);
+    }
+    return launches / seconds_since(start);
+}
+
+/// Aggregate launches/second of kThreads threads eagerly launching the
+/// shared kernel.
+double eager_rate_threaded(
+    klc::WisdomKernel& kernel,
+    klc::DeviceArray<float>& c,
+    klc::DeviceArray<float>& a,
+    klc::DeviceArray<float>& b,
+    int n,
+    int launches_per_thread) {
+    auto start = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; t++) {
+        threads.emplace_back([&] {
+            for (int i = 0; i < launches_per_thread; i++) {
+                kernel.launch(c, a, b, n);
+            }
+        });
+    }
+    for (std::thread& thread : threads) {
+        thread.join();
+    }
+    return double(kThreads) * launches_per_thread / seconds_since(start);
+}
+
+/// Launch nodes/second of `replays` replays of a pre-baked graph.
+double replay_rate(klg::GraphExec exec, int replays) {
+    auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < replays; i++) {
+        exec.replay();
+    }
+    return double(kGraphLaunches) * replays / seconds_since(start);
+}
+
+/// Aggregate launch nodes/second of kThreads threads replaying copies of
+/// one shared executable.
+double replay_rate_threaded(klg::GraphExec exec, int replays_per_thread) {
+    auto start = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; t++) {
+        threads.emplace_back([copy = exec, replays_per_thread]() mutable {
+            for (int i = 0; i < replays_per_thread; i++) {
+                copy.replay();
+            }
+        });
+    }
+    for (std::thread& thread : threads) {
+        thread.join();
+    }
+    return double(kThreads) * kGraphLaunches * replays_per_thread
+        / seconds_since(start);
+}
+
+}  // namespace
+
+int main() {
+    // TimingOnly: no functional kernel execution, so the measurement is
+    // pure host-side submission cost — the quantity graphs attack.
+    auto context = Context::create(
+        "NVIDIA RTX A4000", ::kl::sim::ExecutionMode::TimingOnly);
+    klg::set_enabled(true);
+
+    const std::string wisdom_dir = ::kl::make_temp_dir("kl-bench-graph");
+    klc::WisdomKernel kernel(
+        vector_add_builder(), klc::WisdomSettings().wisdom_dir(wisdom_dir));
+
+    const int n = 4096;
+    klc::DeviceArray<float> c(n), a(n), b(n);
+
+    // Warm up: the first launch compiles; everything measured is warm.
+    kernel.launch(c, a, b, n);
+
+    klg::GraphCapture capture;
+    for (int i = 0; i < kGraphLaunches; i++) {
+        capture.add_launch(kernel, {}, c, a, b, n);
+    }
+    klg::GraphExec exec = capture.finish().instantiate();
+    exec.replay();  // warm-up replay
+
+    const int kEagerLaunches = 20'000;
+    const int kReplays = 5'000;
+
+    double eager_1t = eager_rate(kernel, c, a, b, n, kEagerLaunches);
+    double eager_8t =
+        eager_rate_threaded(kernel, c, a, b, n, kEagerLaunches / kThreads);
+    double graph_1t = replay_rate(exec, kReplays);
+    double graph_8t = replay_rate_threaded(exec, kReplays / kThreads);
+
+    std::printf("launch submission throughput (host wall clock, warm)\n");
+    std::printf("  eager  1 thread : %10.0f launches/s\n", eager_1t);
+    std::printf("  eager  %d threads: %10.0f launches/s\n", kThreads, eager_8t);
+    std::printf("  replay 1 thread : %10.0f launch nodes/s  (%d-launch graph)\n",
+                graph_1t, kGraphLaunches);
+    std::printf("  replay %d threads: %10.0f launch nodes/s\n", kThreads, graph_8t);
+    std::printf("  speedup 1 thread : %.1fx\n", graph_1t / eager_1t);
+    std::printf("  speedup %d threads: %.1fx\n", kThreads, graph_8t / eager_8t);
+
+    if (graph_8t < 10.0 * eager_8t) {
+        std::printf("FAILED: %d-thread replay below 10x eager rate\n", kThreads);
+        return 1;
+    }
+    std::printf("bench_launch_throughput OK (>=10x multi-thread replay)\n");
+    return 0;
+}

@@ -32,8 +32,12 @@ int main() {
         .template_args(block_size)
         .block_size(block_size);
 
+    // from_env() honors the KERNEL_LAUNCHER_* variables (compile cache,
+    // lint mode, ...), so e.g. KERNEL_LAUNCHER_CACHE=readwrite populates a
+    // persistent cache directory that kl-cache can inspect.
     const std::string wisdom_dir = ::kl::make_temp_dir("kl-quickstart");
-    auto kernel = klc::WisdomKernel(builder, klc::WisdomSettings().wisdom_dir(wisdom_dir));
+    auto kernel =
+        klc::WisdomKernel(builder, klc::WisdomSettings::from_env().wisdom_dir(wisdom_dir));
 
     // --- data ------------------------------------------------------------
     const int n = 10'000'000;

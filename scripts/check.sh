@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Full verification matrix: build and run the whole ctest suite three
+# ways — the default build, a ThreadSanitizer build (-DKL_SANITIZE=thread)
+# and an AddressSanitizer+UBSan build (-DKL_SANITIZE=address).
+#
+# Usage:  scripts/check.sh [default|thread|address]...
+#         (no arguments runs all three)
+#
+# Each variant configures into its own build directory (build-check-NAME)
+# so the matrix never disturbs an existing build/ tree. Exits non-zero on
+# the first failing variant.
+set -u
+
+repo=$(cd "$(dirname "$0")/.." && pwd)
+jobs=${JOBS:-$(getconf _NPROCESSORS_ONLN 2> /dev/null || nproc 2> /dev/null || echo 4)}
+
+variants=("$@")
+if [ ${#variants[@]} -eq 0 ]; then
+    variants=(default thread address)
+fi
+
+run_variant() {
+    local name=$1
+    local dir="$repo/build-check-$name"
+    local -a config=()
+    case "$name" in
+        default) ;;
+        thread) config=(-DKL_SANITIZE=thread) ;;
+        address) config=(-DKL_SANITIZE=address) ;;
+        *)
+            echo "check.sh: unknown variant '$name' (want default|thread|address)" >&2
+            return 2
+            ;;
+    esac
+
+    echo "=== [$name] configure ==="
+    cmake -B "$dir" -S "$repo" "${config[@]}" || return 1
+    echo "=== [$name] build ==="
+    cmake --build "$dir" -j "$jobs" || return 1
+    echo "=== [$name] ctest ==="
+    (cd "$dir" && ctest --output-on-failure -j "$jobs") || return 1
+}
+
+for v in "${variants[@]}"; do
+    run_variant "$v" || {
+        echo "check.sh: variant '$v' FAILED" >&2
+        exit 1
+    }
+done
+
+echo "check.sh: all variants passed (${variants[*]})"

@@ -112,6 +112,13 @@ sim::DevicePtr KernelArg::device_ptr() const {
     return ptr;
 }
 
+// GCC 12 falsely flags the string member of Value's variant as
+// maybe-uninitialized when the temporary Value is moved into the optional
+// under -fsanitize builds; every path constructs the Value fully.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
 std::optional<Value> KernelArg::to_value() const {
     if (is_buffer_) {
         return std::nullopt;
@@ -134,6 +141,9 @@ std::optional<Value> KernelArg::to_value() const {
     }
     return std::nullopt;
 }
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 json::Value KernelArg::describe() const {
     json::Value out = json::Value::object();

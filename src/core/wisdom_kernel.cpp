@@ -56,6 +56,9 @@ struct WisdomKernel::SharedState {
     std::map<Key, std::shared_ptr<Instance>> instances;
     std::map<Key, bool> captured;
     Stats stats;
+    /// Bumped by clear_cache(); read lock-free by graph replay to detect
+    /// stale baked instances (see BakedLaunch::epoch).
+    std::atomic<uint64_t> epoch {0};
 
     /// The one canonical metrics surface of the compile/launch pipeline:
     /// every counter is bumped through these helpers, which update the
@@ -477,6 +480,7 @@ void WisdomKernel::clear_cache() {
     state_->cv.wait(lock, [this] { return state_->stats.compiles_in_flight == 0; });
     state_->instances.clear();
     state_->captured.clear();
+    state_->epoch.fetch_add(1, std::memory_order_release);
     SharedState::bump("kl.cache_clears");
     if (trace::spans_enabled()) {
         if (sim::Context* context = sim::Context::current_or_null()) {
@@ -493,6 +497,95 @@ void WisdomKernel::clear_cache() {
 size_t WisdomKernel::cached_instance_count() const {
     std::lock_guard<std::mutex> lock(state_->mutex);
     return state_->instances.size();
+}
+
+uint64_t WisdomKernel::cache_epoch() const noexcept {
+    return state_->epoch.load(std::memory_order_acquire);
+}
+
+WisdomKernel::BakedLaunch WisdomKernel::bake_launch(const std::vector<KernelArg>& args) {
+    sim::Context& context = sim::Context::current();
+
+    // Instantiation is rare (once per graph, plus invalidations), so the
+    // KL004 argument check runs on every bake — unlike the launch path,
+    // which amortizes it over all launches.
+    if (settings_.lint_mode() != LintMode::Off) {
+        if (trace::counters_enabled()) {
+            trace::counter("lint.runs").add(1);
+        }
+        trace::HostSpan span("lint", "lint.launch_args", {{"kernel", def_.name}});
+        analysis::enforce(
+            analysis::lint_launch_args(def_, args),
+            settings_.lint_mode(),
+            def_.name);
+    }
+
+    BakedLaunch baked;
+    baked.epoch = cache_epoch();
+
+    const ProblemSize problem = def_.eval_problem_size(args);
+    Key key {context.device().name, problem};
+
+    std::shared_ptr<Instance> instance;
+    bool we_compile = false;
+    {
+        std::lock_guard<std::mutex> lock(state_->mutex);
+        auto it = state_->instances.find(key);
+        if (it == state_->instances.end()) {
+            instance = std::make_shared<Instance>();
+            instance->background = false;
+            state_->instances.emplace(key, instance);
+            state_->note_compile_started();
+            we_compile = true;
+        } else {
+            instance = it->second;
+        }
+    }
+
+    if (we_compile) {
+        // Synchronous build, charged to the caller's virtual clock exactly
+        // like a cold launch (minus the launch itself).
+        BuildOutcome outcome = build_instance(
+            def_,
+            settings_.wisdom_path(def_.key()),
+            settings_.cache_settings(),
+            context.device(),
+            problem,
+            context.clock().now(),
+            *state_,
+            *instance);
+        context.clock().advance(outcome.cost.wisdom_seconds);
+        std::exception_ptr error = outcome.error;
+        if (error == nullptr) {
+            context.clock().advance(outcome.cost.cache_seconds);
+            context.clock().advance(outcome.cost.compile_seconds);
+            context.clock().advance(outcome.cost.module_load_seconds);
+        }
+        publish(*state_, *instance, std::move(outcome), context.clock().now());
+        if (error != nullptr) {
+            std::rethrow_exception(error);
+        }
+    } else {
+        std::unique_lock<std::mutex> lock(state_->mutex);
+        state_->cv.wait(lock, [&] { return !is_in_flight(instance->state); });
+        if (instance->state == InstanceState::Failed) {
+            std::exception_ptr error = instance->error;
+            lock.unlock();
+            std::rethrow_exception(error);
+        }
+        lock.unlock();
+        // Joining a background build costs the remaining modeled time, as
+        // for a launch that arrives before the instance is ready.
+        if (instance->background) {
+            context.clock().advance_to(instance->ready_time);
+        }
+    }
+
+    baked.config = instance->config;
+    baked.module = instance->module;
+    baked.image = &instance->module->get_function(def_.name);
+    baked.geometry = def_.eval_geometry(instance->config, args);
+    return baked;
 }
 
 void WisdomKernel::launch_args(const std::vector<KernelArg>& args, sim::Stream* stream) {

@@ -121,6 +121,34 @@ class WisdomKernel {
     /// Launches with an explicit argument vector and optional stream.
     void launch_args(const std::vector<KernelArg>& args, sim::Stream* stream = nullptr);
 
+    /// Everything one launch needs, resolved ahead of time: the selected
+    /// configuration, the loaded module (held alive by the shared_ptr), the
+    /// compiled image, and the evaluated geometry. The launch-graph
+    /// subsystem (src/graph/, docs/GRAPHS.md) bakes each recorded launch at
+    /// instantiation so that replay bypasses the per-launch
+    /// lookup/lint/marshal path entirely.
+    struct BakedLaunch {
+        Config config;
+        std::shared_ptr<sim::Module> module;
+        const sim::KernelImage* image = nullptr;
+        KernelDef::Geometry geometry;
+        /// cache_epoch() observed *before* the instance lookup; a
+        /// clear_cache racing with the bake makes the result look stale
+        /// (re-baked on next use), never stale-but-marked-fresh.
+        uint64_t epoch = 0;
+    };
+
+    /// Resolves a launch once: lints the arguments (KL004), compiles or
+    /// waits for the instance exactly like a launch would, and returns the
+    /// baked state without submitting any device work. Compile errors and
+    /// lint rejections surface here instead of at replay time.
+    BakedLaunch bake_launch(const std::vector<KernelArg>& args);
+
+    /// Monotonic generation counter, bumped by clear_cache(). Lets graph
+    /// executables detect stale baked modules with one relaxed load per
+    /// replay.
+    uint64_t cache_epoch() const noexcept;
+
     /// Starts building the instance for `problem` on the current device
     /// without launching. With async compilation enabled (the default),
     /// the build runs on the background worker pool and this returns

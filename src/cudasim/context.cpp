@@ -165,14 +165,12 @@ void Context::memset_d8(DevicePtr dst, uint8_t value, uint64_t size) {
     record_memop("memset.d8", start, seconds, size);
 }
 
-const LaunchRecord& Context::launch(
+void validate_launch_geometry(
+    const DeviceProperties& device,
     const KernelImage& image,
     Dim3 grid,
     Dim3 block,
-    uint64_t shared_mem,
-    Stream& stream,
-    void* const* args,
-    size_t num_args) {
+    uint64_t shared_mem) {
     // Validation mirroring the CUDA driver's launch checks.
     if (grid.volume() == 0 || block.volume() == 0) {
         throw CudaError("invalid launch: empty grid or block");
@@ -181,13 +179,24 @@ const LaunchRecord& Context::launch(
         throw CudaError("invalid launch: grid dimensions exceed device limits");
     }
     if (block.x > 1024 || block.y > 1024 || block.z > 64
-        || block.volume() > static_cast<uint64_t>(device_.max_threads_per_block)) {
+        || block.volume() > static_cast<uint64_t>(device.max_threads_per_block)) {
         throw CudaError(
             "invalid launch: block " + block.to_string() + " exceeds device limits");
     }
-    if (shared_mem + image.static_shared_memory > device_.shared_mem_per_block) {
+    if (shared_mem + image.static_shared_memory > device.shared_mem_per_block) {
         throw CudaError("invalid launch: shared memory exceeds per-block limit");
     }
+}
+
+const LaunchRecord& Context::launch(
+    const KernelImage& image,
+    Dim3 grid,
+    Dim3 block,
+    uint64_t shared_mem,
+    Stream& stream,
+    void* const* args,
+    size_t num_args) {
+    validate_launch_geometry(device_, image, grid, block, shared_mem);
 
     // The model also rejects zero-occupancy launches (register pressure).
     TimingEstimate timing = perf_model_.estimate(device_, image, grid, block, shared_mem);

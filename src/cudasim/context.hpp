@@ -27,6 +27,18 @@ enum class ExecutionMode {
     TimingOnly,
 };
 
+/// Driver-style validation of one launch's geometry against a device:
+/// non-empty grid/block, dimension limits, threads per block, and shared
+/// memory (dynamic + static) per block. Throws CudaError on violation.
+/// Shared by Context::launch and graph instantiation (src/graph/), which
+/// validates every recorded node once instead of on every replay.
+void validate_launch_geometry(
+    const DeviceProperties& device,
+    const KernelImage& image,
+    Dim3 grid,
+    Dim3 block,
+    uint64_t shared_mem);
+
 /// Statistics about the most recent launch; examined by tests and benches.
 struct LaunchRecord {
     std::string kernel_name;

@@ -68,6 +68,17 @@ class Stream {
         return start;
     }
 
+    /// Pushes the completion horizon out to at least `t` (atomic max).
+    /// Graph replay (src/graph/) schedules a whole DAG of pre-baked work
+    /// as one submission and publishes only the graph's end time, instead
+    /// of enqueueing node by node.
+    void extend_to(double t) noexcept {
+        double current = busy_until_.load(std::memory_order_relaxed);
+        while (current < t
+               && !busy_until_.compare_exchange_weak(current, t, std::memory_order_relaxed)) {
+        }
+    }
+
   private:
     uint64_t id_;
     std::atomic<double> busy_until_ {0};

@@ -1,0 +1,640 @@
+#include "graph/graph.hpp"
+
+#include <atomic>
+#include <cctype>
+#include <cstring>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <utility>
+
+#include "analysis/diagnostics.hpp"
+#include "trace/trace.hpp"
+#include "util/errors.hpp"
+#include "util/fs.hpp"
+
+namespace kl::graph {
+
+namespace {
+
+/// -1 until initialized from KERNEL_LAUNCHER_GRAPH; otherwise 0/1.
+std::atomic<int> g_enabled {-1};
+
+bool parse_enabled(const std::string& text) {
+    std::string lower;
+    for (char c : text) {
+        if (!std::isspace(static_cast<unsigned char>(c))) {
+            lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+        }
+    }
+    if (lower.empty() || lower == "on" || lower == "1" || lower == "true"
+        || lower == "yes") {
+        return true;
+    }
+    if (lower == "off" || lower == "0" || lower == "false" || lower == "no") {
+        return false;
+    }
+    throw Error("KERNEL_LAUNCHER_GRAPH: expected on|off, got '" + text + "'");
+}
+
+void bump(const char* name, uint64_t n = 1) {
+    if (trace::counters_enabled()) {
+        trace::counter(name).add(n);
+    }
+}
+
+}  // namespace
+
+bool enabled() {
+    int value = g_enabled.load(std::memory_order_relaxed);
+    if (value < 0) {
+        bool on = true;
+        if (std::optional<std::string> env = get_env("KERNEL_LAUNCHER_GRAPH")) {
+            on = parse_enabled(*env);
+        }
+        value = on ? 1 : 0;
+        g_enabled.store(value, std::memory_order_relaxed);
+    }
+    return value == 1;
+}
+
+void set_enabled(bool on) {
+    g_enabled.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+// --- GraphCapture -----------------------------------------------------------
+
+GraphCapture::GraphCapture() {
+    if (!enabled()) {
+        throw Error(
+            "launch graphs are disabled (KERNEL_LAUNCHER_GRAPH=off); "
+            "use eager WisdomKernel launches instead");
+    }
+    capture_start_host_ = trace::host_now_seconds();
+}
+
+NodeId GraphCapture::add_node(Node node) {
+    for (NodeId dep : node.deps) {
+        if (dep >= nodes_.size()) {
+            throw Error(
+                "graph: dependency #" + std::to_string(dep) + " of node #"
+                + std::to_string(nodes_.size())
+                + " is not a recorded node (dependencies must be recorded first)");
+        }
+    }
+    nodes_.push_back(std::move(node));
+    return nodes_.size() - 1;
+}
+
+NodeId GraphCapture::add_launch(
+    core::WisdomKernel& kernel,
+    std::vector<core::KernelArg> args,
+    std::vector<NodeId> deps) {
+    Node node;
+    node.kind = NodeKind::Launch;
+    node.deps = std::move(deps);
+    node.kernel = &kernel;
+    node.args = std::move(args);
+    return add_node(std::move(node));
+}
+
+NodeId GraphCapture::add_memcpy_htod(
+    sim::DevicePtr dst,
+    const void* src,
+    uint64_t bytes,
+    std::vector<NodeId> deps) {
+    Node node;
+    node.kind = NodeKind::MemcpyHtoD;
+    node.deps = std::move(deps);
+    node.dst = dst;
+    node.host_src = src;
+    node.bytes = bytes;
+    return add_node(std::move(node));
+}
+
+NodeId GraphCapture::add_memcpy_dtoh(
+    void* dst,
+    sim::DevicePtr src,
+    uint64_t bytes,
+    std::vector<NodeId> deps) {
+    Node node;
+    node.kind = NodeKind::MemcpyDtoH;
+    node.deps = std::move(deps);
+    node.host_dst = dst;
+    node.src = src;
+    node.bytes = bytes;
+    return add_node(std::move(node));
+}
+
+NodeId GraphCapture::add_memcpy_dtod(
+    sim::DevicePtr dst,
+    sim::DevicePtr src,
+    uint64_t bytes,
+    std::vector<NodeId> deps) {
+    Node node;
+    node.kind = NodeKind::MemcpyDtoD;
+    node.deps = std::move(deps);
+    node.dst = dst;
+    node.src = src;
+    node.bytes = bytes;
+    return add_node(std::move(node));
+}
+
+NodeId GraphCapture::add_memset(
+    sim::DevicePtr dst,
+    uint8_t value,
+    uint64_t bytes,
+    std::vector<NodeId> deps) {
+    Node node;
+    node.kind = NodeKind::Memset;
+    node.deps = std::move(deps);
+    node.dst = dst;
+    node.fill = value;
+    node.bytes = bytes;
+    return add_node(std::move(node));
+}
+
+LaunchGraph GraphCapture::finish() {
+    bump("kl.graph.captures");
+    if (trace::spans_enabled()) {
+        trace::emit_complete(
+            trace::Domain::Host,
+            "graph",
+            "graph.capture",
+            capture_start_host_,
+            trace::host_now_seconds() - capture_start_host_,
+            {{"nodes", std::to_string(nodes_.size())}});
+    }
+    auto nodes = std::make_shared<std::vector<Node>>(std::move(nodes_));
+    nodes_ = {};
+    capture_start_host_ = trace::host_now_seconds();
+    return LaunchGraph(std::move(nodes));
+}
+
+// --- GraphExec --------------------------------------------------------------
+
+/// One instantiated node: the recorded operands plus everything resolved
+/// at bake time (compiled instance, marshalled argument slots, modeled
+/// duration). `args` is this executable's own copy — update_scalar mutates
+/// it in place, which keeps the `slots` pointers (into the KernelArg
+/// inline storage) valid.
+struct GraphExec::BakedNode {
+    NodeKind kind = NodeKind::Launch;
+    std::vector<NodeId> deps;
+    // Launch
+    core::WisdomKernel* kernel = nullptr;
+    std::vector<core::KernelArg> args;
+    core::WisdomKernel::BakedLaunch baked;
+    std::vector<void*> slots;
+    // Memory operations
+    sim::DevicePtr dst = 0;
+    sim::DevicePtr src = 0;
+    const void* host_src = nullptr;
+    void* host_dst = nullptr;
+    uint64_t bytes = 0;
+    uint8_t fill = 0;
+    // Schedule
+    double duration = 0;  ///< modeled seconds on the stream timeline
+    const char* span_name = "graph.node";
+};
+
+struct GraphExec::Impl {
+    std::shared_ptr<const std::vector<Node>> source;
+    /// Replays hold this shared; update_scalar and invalidation-driven
+    /// re-instantiation hold it exclusively.
+    mutable std::shared_mutex mutex;
+    std::vector<BakedNode> nodes;                                  ///< guarded by mutex
+    /// Each kernel recorded in the graph, with the cache epoch its bake
+    /// observed; a mismatch against the kernel's live epoch marks the
+    /// whole executable stale.
+    std::vector<std::pair<core::WisdomKernel*, uint64_t>> epochs;  ///< guarded by mutex
+    std::atomic<uint64_t> replays {0};
+    std::atomic<uint64_t> instantiations {0};
+    std::atomic<double> last_end {0};
+};
+
+namespace {
+
+/// Wraps a driver/model rejection of a baked launch in the KL003 shape of
+/// the static analysis (docs/LINTING.md): graph instantiation is where
+/// resource-limit findings surface, since replay submits without checks.
+[[noreturn]] void throw_kl003(
+    const core::WisdomKernel& kernel,
+    const core::Config& config,
+    const CudaError& error) {
+    analysis::Diagnostic diag;
+    diag.code = "KL003";
+    diag.severity = analysis::Severity::Error;
+    diag.message = std::string(error.what()) + " (baked configuration "
+        + config.to_string() + ")";
+    diag.kernel = kernel.def().name;
+    throw CudaError("graph instantiation failed:\n" + analysis::render_all({diag}));
+}
+
+/// Resolves one launch node: compile/select via bake_launch, then validate
+/// the geometry (KL003) and precompute the modeled duration and argument
+/// slots.
+void bake_launch_node(GraphExec::BakedNode& node, sim::Context& context) {
+    node.baked = node.kernel->bake_launch(node.args);
+    const sim::KernelImage& image = *node.baked.image;
+    const core::KernelDef::Geometry& geom = node.baked.geometry;
+    try {
+        sim::validate_launch_geometry(
+            context.device(), image, geom.grid, geom.block, geom.shared_mem_bytes);
+        node.duration = context
+                            .perf_model()
+                            .estimate(
+                                context.device(),
+                                image,
+                                geom.grid,
+                                geom.block,
+                                geom.shared_mem_bytes)
+                            .seconds;
+    } catch (const CudaError& e) {
+        throw_kl003(*node.kernel, node.baked.config, e);
+    }
+    node.slots.clear();
+    node.slots.reserve(node.args.size());
+    for (const core::KernelArg& arg : node.args) {
+        node.slots.push_back(const_cast<void*>(arg.slot()));
+    }
+}
+
+double dtod_seconds(const sim::Context& context, uint64_t bytes) {
+    // On-device copies run at full memory bandwidth (read + write), as in
+    // Context::memcpy_dtod.
+    return 2.0 * static_cast<double>(bytes)
+        / (context.device().memory_bandwidth_gbs * 1e9);
+}
+
+double memset_seconds(const sim::Context& context, uint64_t bytes) {
+    return static_cast<double>(bytes) / (context.device().memory_bandwidth_gbs * 1e9);
+}
+
+/// Initial bake: copy the recording into executable nodes, resolve every
+/// launch, bounds-check every memory operand, and precompute durations.
+void instantiate_nodes(
+    GraphExec::Impl& impl,
+    sim::Context& context,
+    const std::vector<Node>& source) {
+    impl.nodes.clear();
+    impl.nodes.reserve(source.size());
+    for (const Node& recorded : source) {
+        GraphExec::BakedNode node;
+        node.kind = recorded.kind;
+        node.deps = recorded.deps;
+        node.kernel = recorded.kernel;
+        node.args = recorded.args;
+        node.dst = recorded.dst;
+        node.src = recorded.src;
+        node.host_src = recorded.host_src;
+        node.host_dst = recorded.host_dst;
+        node.bytes = recorded.bytes;
+        node.fill = recorded.fill;
+        switch (node.kind) {
+            case NodeKind::Launch:
+                bake_launch_node(node, context);
+                node.span_name = "graph.kernel";
+                break;
+            case NodeKind::MemcpyHtoD:
+                context.memory().check_range(node.dst, node.bytes);
+                node.duration = context.transfer_seconds(node.bytes);
+                node.span_name = "graph.memcpy.htod";
+                break;
+            case NodeKind::MemcpyDtoH:
+                context.memory().check_range(node.src, node.bytes);
+                node.duration = context.transfer_seconds(node.bytes);
+                node.span_name = "graph.memcpy.dtoh";
+                break;
+            case NodeKind::MemcpyDtoD:
+                context.memory().check_range(node.src, node.bytes);
+                context.memory().check_range(node.dst, node.bytes);
+                node.duration = dtod_seconds(context, node.bytes);
+                node.span_name = "graph.memcpy.dtod";
+                break;
+            case NodeKind::Memset:
+                context.memory().check_range(node.dst, node.bytes);
+                node.duration = memset_seconds(context, node.bytes);
+                node.span_name = "graph.memset";
+                break;
+        }
+        impl.nodes.push_back(std::move(node));
+    }
+}
+
+/// Records which cache epoch each distinct kernel was baked at. Two nodes
+/// of one kernel can observe different epochs when a clear_cache races the
+/// bake; keeping the smaller one makes the executable read as stale (and
+/// re-bake), never as fresh-but-wrong.
+void collect_epochs(GraphExec::Impl& impl) {
+    impl.epochs.clear();
+    for (const GraphExec::BakedNode& node : impl.nodes) {
+        if (node.kind != NodeKind::Launch) {
+            continue;
+        }
+        bool found = false;
+        for (auto& [kernel, epoch] : impl.epochs) {
+            if (kernel == node.kernel) {
+                found = true;
+                if (node.baked.epoch < epoch) {
+                    epoch = node.baked.epoch;
+                }
+                break;
+            }
+        }
+        if (!found) {
+            impl.epochs.emplace_back(node.kernel, node.baked.epoch);
+        }
+    }
+}
+
+bool is_stale(const GraphExec::Impl& impl) {
+    for (const auto& [kernel, epoch] : impl.epochs) {
+        if (kernel->cache_epoch() != epoch) {
+            return true;
+        }
+    }
+    return false;
+}
+
+/// Functional-mode node effects, in recorded order — byte-for-byte the
+/// data movement of the eager Context::memcpy_*/memset_d8/launch paths.
+void execute_functional(const GraphExec::BakedNode& node, sim::Context& context) {
+    sim::MemoryPool& memory = context.memory();
+    switch (node.kind) {
+        case NodeKind::Launch: {
+            const sim::KernelImage& image = *node.baked.image;
+            if (!image.impl) {
+                throw CudaError(
+                    "kernel '" + image.lowered_name + "' has no implementation");
+            }
+            sim::LaunchParams params;
+            params.context = &context;
+            params.grid = node.baked.geometry.grid;
+            params.block = node.baked.geometry.block;
+            params.shared_mem_bytes = node.baked.geometry.shared_mem_bytes;
+            params.constants = &image.constants;
+            params.args = node.slots.data();
+            params.num_args = node.slots.size();
+            image.impl(params);
+            break;
+        }
+        case NodeKind::MemcpyHtoD:
+            std::memcpy(memory.resolve(node.dst, node.bytes), node.host_src, node.bytes);
+            break;
+        case NodeKind::MemcpyDtoH: {
+            void* host = memory.resolve_if_materialized(node.src, node.bytes);
+            if (host != nullptr) {
+                std::memcpy(node.host_dst, host, node.bytes);
+            } else {
+                // Never-touched device memory reads back as zeros.
+                std::memset(node.host_dst, 0, node.bytes);
+            }
+            break;
+        }
+        case NodeKind::MemcpyDtoD: {
+            void* from = memory.resolve_if_materialized(node.src, node.bytes);
+            if (from != nullptr) {
+                std::memmove(memory.resolve(node.dst, node.bytes), from, node.bytes);
+            } else if (memory.is_materialized(node.dst)) {
+                std::memset(memory.resolve(node.dst, node.bytes), 0, node.bytes);
+            }
+            break;
+        }
+        case NodeKind::Memset:
+            if (node.fill != 0 || memory.is_materialized(node.dst)) {
+                std::memset(memory.resolve(node.dst, node.bytes), node.fill, node.bytes);
+            }
+            break;
+    }
+}
+
+/// The batched submission. Caller holds impl.mutex (shared or exclusive).
+void submit_locked(GraphExec::Impl& impl, sim::Context& context, sim::Stream& stream) {
+    const bool spans = trace::spans_enabled();
+    const double host_start = spans ? trace::host_now_seconds() : 0;
+
+    // One submission: the host pays the fixed launch cost once, no matter
+    // how many nodes the graph holds — that is the batching win on the
+    // simulated timeline. Root nodes start when both the host has issued
+    // the graph and prior stream work has drained.
+    context.clock().advance(context.device().launch_overhead_us * 1e-6);
+    double t0 = context.clock().now();
+    if (stream.busy_until() > t0) {
+        t0 = stream.busy_until();
+    }
+
+    const bool functional = context.mode() == sim::ExecutionMode::Functional;
+    uint32_t track = 0;
+    if (spans) {
+        track = trace::named_track("stream " + std::to_string(stream.id()));
+    }
+
+    thread_local std::vector<double> ends;
+    ends.assign(impl.nodes.size(), 0);
+
+    double graph_end = t0;
+    for (size_t i = 0; i < impl.nodes.size(); i++) {
+        const GraphExec::BakedNode& node = impl.nodes[i];
+        double start = t0;
+        for (NodeId dep : node.deps) {
+            if (ends[dep] > start) {
+                start = ends[dep];
+            }
+        }
+        if (functional) {
+            execute_functional(node, context);
+        }
+        const double end = start + node.duration;
+        ends[i] = end;
+        if (end > graph_end) {
+            graph_end = end;
+        }
+        if (spans) {
+            trace::Args args;
+            if (node.kind == NodeKind::Launch) {
+                args.emplace_back("kernel", node.baked.image->lowered_name);
+            } else {
+                args.emplace_back("bytes", std::to_string(node.bytes));
+            }
+            trace::emit_complete_on(
+                trace::Domain::Sim,
+                track,
+                "graph",
+                node.span_name,
+                start,
+                node.duration,
+                std::move(args));
+        }
+    }
+
+    stream.extend_to(graph_end);
+    impl.last_end.store(graph_end, std::memory_order_relaxed);
+    impl.replays.fetch_add(1, std::memory_order_relaxed);
+    bump("kl.graph.replays");
+    bump("kl.graph.nodes_replayed", impl.nodes.size());
+    if (spans) {
+        trace::emit_complete(
+            trace::Domain::Host,
+            "graph",
+            "graph.replay",
+            host_start,
+            trace::host_now_seconds() - host_start,
+            {{"nodes", std::to_string(impl.nodes.size())}});
+    }
+}
+
+/// (Re-)resolves every launch node and refreshes the epoch table. Caller
+/// holds impl.mutex exclusively.
+void rebake_launches(GraphExec::Impl& impl, sim::Context& context) {
+    trace::HostSpan span(
+        "graph",
+        "graph.instantiate",
+        {{"nodes", std::to_string(impl.nodes.size())}});
+    for (GraphExec::BakedNode& node : impl.nodes) {
+        if (node.kind == NodeKind::Launch) {
+            bake_launch_node(node, context);
+        }
+    }
+    collect_epochs(impl);
+    impl.instantiations.fetch_add(1, std::memory_order_relaxed);
+    bump("kl.graph.instantiates");
+}
+
+}  // namespace
+
+GraphExec LaunchGraph::instantiate() const {
+    sim::Context& context = sim::Context::current();
+    auto impl = std::make_shared<GraphExec::Impl>();
+    impl->source = nodes_;
+    {
+        trace::HostSpan span(
+            "graph",
+            "graph.instantiate",
+            {{"nodes", std::to_string(nodes_->size())}});
+        instantiate_nodes(*impl, context, *nodes_);
+        collect_epochs(*impl);
+    }
+    impl->instantiations.fetch_add(1, std::memory_order_relaxed);
+    bump("kl.graph.instantiates");
+    return GraphExec(std::move(impl));
+}
+
+void GraphExec::replay(sim::Stream* stream) {
+    Impl& impl = *impl_;
+    sim::Context& context = sim::Context::current();
+    if (stream == nullptr) {
+        stream = &context.default_stream();
+    }
+
+    {
+        std::shared_lock<std::shared_mutex> lock(impl.mutex);
+        if (!is_stale(impl)) {
+            submit_locked(impl, context, *stream);
+            return;
+        }
+    }
+
+    // A recorded kernel saw clear_cache since the bake: re-instantiate
+    // under the exclusive lock, then replay in the same critical section
+    // (concurrent replays that lost the race re-check and proceed shared).
+    std::unique_lock<std::shared_mutex> lock(impl.mutex);
+    if (is_stale(impl)) {
+        bump("kl.graph.invalidations");
+        rebake_launches(impl, context);
+    }
+    submit_locked(impl, context, *stream);
+}
+
+void GraphExec::update_scalar_arg(
+    NodeId node_id,
+    size_t arg_index,
+    const core::KernelArg& arg) {
+    Impl& impl = *impl_;
+    sim::Context& context = sim::Context::current();
+    std::unique_lock<std::shared_mutex> lock(impl.mutex);
+    if (node_id >= impl.nodes.size()) {
+        throw Error("graph: no node #" + std::to_string(node_id));
+    }
+    BakedNode& node = impl.nodes[node_id];
+    if (node.kind != NodeKind::Launch) {
+        throw Error("graph: node #" + std::to_string(node_id) + " is not a kernel launch");
+    }
+    if (arg_index >= node.args.size()) {
+        throw Error(
+            "graph: node #" + std::to_string(node_id) + " has "
+            + std::to_string(node.args.size()) + " arguments, no #"
+            + std::to_string(arg_index));
+    }
+    core::KernelArg& current = node.args[arg_index];
+    if (current.is_buffer()) {
+        throw Error(
+            "graph: argument #" + std::to_string(arg_index) + " of node #"
+            + std::to_string(node_id)
+            + " is a buffer; only scalar arguments are update-able");
+    }
+    if (current.type() != arg.type()) {
+        throw Error(
+            std::string("graph: scalar type mismatch: argument #")
+            + std::to_string(arg_index) + " is " + core::scalar_name(current.type())
+            + ", update value is " + core::scalar_name(arg.type()));
+    }
+
+    const core::KernelArg saved = current;
+    current = arg;
+    const core::ProblemSize problem = node.kernel->def().eval_problem_size(node.args);
+    if (problem != node.baked.geometry.problem) {
+        current = saved;
+        throw Error(
+            "graph: updating argument #" + std::to_string(arg_index)
+            + " changes the problem size from "
+            + node.baked.geometry.problem.to_string() + " to " + problem.to_string()
+            + ", which selects a different compiled instance; capture a new graph");
+    }
+    try {
+        // Geometry expressions may read scalar arguments, so block/grid/
+        // shared memory (and with them the modeled duration) can change.
+        node.baked.geometry =
+            node.kernel->def().eval_geometry(node.baked.config, node.args);
+        const sim::KernelImage& image = *node.baked.image;
+        sim::validate_launch_geometry(
+            context.device(),
+            image,
+            node.baked.geometry.grid,
+            node.baked.geometry.block,
+            node.baked.geometry.shared_mem_bytes);
+        node.duration = context
+                            .perf_model()
+                            .estimate(
+                                context.device(),
+                                image,
+                                node.baked.geometry.grid,
+                                node.baked.geometry.block,
+                                node.baked.geometry.shared_mem_bytes)
+                            .seconds;
+    } catch (...) {
+        current = saved;
+        node.baked.geometry =
+            node.kernel->def().eval_geometry(node.baked.config, node.args);
+        throw;
+    }
+    bump("kl.graph.scalar_updates");
+}
+
+size_t GraphExec::node_count() const noexcept {
+    return impl_->source->size();
+}
+
+uint64_t GraphExec::replay_count() const noexcept {
+    return impl_->replays.load(std::memory_order_relaxed);
+}
+
+uint64_t GraphExec::instantiate_count() const noexcept {
+    return impl_->instantiations.load(std::memory_order_relaxed);
+}
+
+double GraphExec::last_replay_end() const noexcept {
+    return impl_->last_end.load(std::memory_order_relaxed);
+}
+
+}  // namespace kl::graph

@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the kl-trace CLI: generates a real trace by
+# running the quickstart example with tracing enabled, then checks exit
+# codes and key output lines for every mode.
+#
+# Usage: test_kl_trace.sh <kl-trace-binary> <quickstart-binary>
+set -u
+
+KL_TRACE=$1
+QUICKSTART=$2
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+fail() {
+    echo "FAIL: $*" >&2
+    exit 1
+}
+
+# --- fixture: a full trace and a counters-only dump ----------------------
+KERNEL_LAUNCHER_TRACE=full KERNEL_LAUNCHER_TRACE_FILE="$tmp/trace.json" \
+    "$QUICKSTART" > /dev/null || fail "quickstart (full trace) failed"
+[ -s "$tmp/trace.json" ] || fail "trace file was not written"
+
+KERNEL_LAUNCHER_TRACE=counters KERNEL_LAUNCHER_TRACE_FILE="$tmp/counters.json" \
+    "$QUICKSTART" > /dev/null || fail "quickstart (counters) failed"
+[ -s "$tmp/counters.json" ] || fail "counters file was not written"
+
+# --- default summary mode ------------------------------------------------
+out=$("$KL_TRACE" "$tmp/trace.json") || fail "summary mode exited non-zero"
+echo "$out" | grep -q "=== sim timeline ===" || fail "summary missing sim timeline"
+echo "$out" | grep -q "=== host timeline ===" || fail "summary missing host timeline"
+echo "$out" | grep -q "nvrtc.compile" || fail "summary missing nvrtc.compile span"
+
+# --- counters mode, on both fixture shapes -------------------------------
+out=$("$KL_TRACE" --counters "$tmp/trace.json") || fail "--counters exited non-zero"
+echo "$out" | grep -q "cuda.launches" || fail "counters missing cuda.launches"
+echo "$out" | grep -q "kl.compiles_started" || fail "counters missing kl.compiles_started"
+
+out=$("$KL_TRACE" --counters "$tmp/counters.json") \
+    || fail "--counters on a counters dump exited non-zero"
+echo "$out" | grep -q "tuner.evals" || fail "counters dump missing tuner.evals"
+
+# --- events mode with a category filter ----------------------------------
+out=$("$KL_TRACE" --events --category cuda "$tmp/trace.json") \
+    || fail "--events exited non-zero"
+echo "$out" | grep -q "cuda/kernel.exec" || fail "events missing cuda/kernel.exec"
+if echo "$out" | grep -q "compile/"; then
+    fail "category filter leaked compile events"
+fi
+
+# --- error paths ---------------------------------------------------------
+"$KL_TRACE" "$tmp/does-not-exist.json" > /dev/null 2>&1
+[ $? -eq 1 ] || fail "missing file should exit 1"
+
+"$KL_TRACE" --no-such-option "$tmp/trace.json" > /dev/null 2>&1
+[ $? -eq 2 ] || fail "unknown option should exit 2"
+
+"$KL_TRACE" > /dev/null 2>&1
+[ $? -eq 2 ] || fail "missing positional should exit 2"
+
+echo "kl-trace smoke OK"

@@ -524,5 +524,55 @@ TEST(RtcCacheWisdomKernel, CompileAheadHitsTheDisk) {
     EXPECT_FALSE(kernel.last_launch_was_cold());
 }
 
+
+// Regression pin: the per-kernel Stats::disk_hits/disk_misses snapshots and
+// the process-wide kl.cache.disk.* trace counters are incremented together
+// (under the kernel's state mutex) and must never drift apart — across the
+// miss/write, hit, and quarantine/recompile paths alike.
+TEST(RtcCacheWisdomKernel, StatsAgreeWithDiskCountersOnEveryPath) {
+    trace::set_mode(trace::Mode::Counters);
+    trace::clear();
+    Fixture fx;
+    const int n = 1000;
+    core::DeviceArray<float> c(n), a(n), b(n);
+    uint64_t total_hits = 0;
+    uint64_t total_misses = 0;
+
+    // Path 1: cold miss, entry written.
+    {
+        WisdomKernel kernel(vector_add_builder(), fx.wisdom_settings(Mode::ReadWrite));
+        kernel.launch(c, a, b, n);
+        total_hits += kernel.stats().disk_hits;
+        total_misses += kernel.stats().disk_misses;
+    }
+    // Path 2: warm hit from the entry just written.
+    {
+        WisdomKernel kernel(vector_add_builder(), fx.wisdom_settings(Mode::ReadWrite));
+        kernel.launch(c, a, b, n);
+        total_hits += kernel.stats().disk_hits;
+        total_misses += kernel.stats().disk_misses;
+    }
+    // Path 3: corrupt the entry; the load quarantines and counts a miss.
+    {
+        std::vector<std::string> entries = fx.entry_files();
+        ASSERT_EQ(entries.size(), 1u);
+        write_text_file(path_join(fx.cache_dir, entries[0]), "not json");
+        WisdomKernel kernel(vector_add_builder(), fx.wisdom_settings(Mode::ReadWrite));
+        kernel.launch(c, a, b, n);
+        total_hits += kernel.stats().disk_hits;
+        total_misses += kernel.stats().disk_misses;
+    }
+
+    EXPECT_EQ(total_hits, 1u);
+    EXPECT_EQ(total_misses, 2u);
+    std::map<std::string, uint64_t> counters = trace::counters_snapshot();
+    EXPECT_EQ(counters["kl.cache.disk.hit"], total_hits);
+    EXPECT_EQ(counters["kl.cache.disk.miss"], total_misses);
+    EXPECT_EQ(counters["kl.cache.disk.quarantined"], 1u);
+    EXPECT_EQ(counters["kl.cache.disk.write"], 2u);  // paths 1 and 3 stored
+    trace::set_mode(trace::Mode::Off);
+    trace::clear();
+}
+
 }  // namespace
 }  // namespace kl::rtccache
