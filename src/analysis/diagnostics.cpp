@@ -1,5 +1,7 @@
 #include "analysis/diagnostics.hpp"
 
+#include <algorithm>
+
 namespace kl::analysis {
 
 const char* severity_name(Severity severity) noexcept {
@@ -33,6 +35,28 @@ std::string Diagnostic::render() const {
         out += " [kernel '" + kernel + "']";
     }
     return out;
+}
+
+json::Value Diagnostic::to_json() const {
+    json::Value out = json::Value::object();
+    out["code"] = code;
+    out["severity"] = severity_name(severity);
+    out["kernel"] = kernel;
+    out["file"] = location.file;
+    out["line"] = static_cast<int64_t>(location.line);
+    out["message"] = message;
+    return out;
+}
+
+bool diagnostic_order(const Diagnostic& a, const Diagnostic& b) noexcept {
+    if (a.code != b.code) {
+        return a.code < b.code;
+    }
+    return a.kernel < b.kernel;
+}
+
+void sort_diagnostics(std::vector<Diagnostic>& diagnostics) {
+    std::stable_sort(diagnostics.begin(), diagnostics.end(), diagnostic_order);
 }
 
 bool has_errors(const std::vector<Diagnostic>& diagnostics) noexcept {

@@ -3,6 +3,8 @@
 #include <string>
 #include <vector>
 
+#include "util/json.hpp"
+
 namespace kl::analysis {
 
 /// Severity of a static-analysis finding. Notes are informational (the
@@ -32,18 +34,41 @@ struct SourceLocation {
 ///          (threads per block, shared memory, __launch_bounds__/registers)
 ///   KL004  launch arguments inconsistent with the parsed kernel signature
 ///   KL005  wisdom record outside the declared space / unknown device
+///   KL006  data hazard: two graph nodes with no dependency path touch
+///          overlapping device bytes (or a DtoD copy overlaps itself)
+///   KL007  redundant dependency edge (already implied transitively)
+///   KL008  dead write: device bytes written by a graph node are never
+///          read, copied out, or overwritten later in the graph
+///   KL009  redundant transfer: a write is overwritten by a same-extent
+///          write with no possible intervening read
 struct Diagnostic {
-    std::string code;  ///< "KL001" ... "KL005"
+    std::string code;  ///< "KL001" ... "KL009"
     Severity severity = Severity::Warning;
     std::string message;
-    std::string kernel;  ///< kernel (or tuning-key) the finding concerns
+    std::string kernel;  ///< kernel (or graph-node label) the finding concerns
     SourceLocation location;
 
     /// Compiler-style one-line rendering:
     ///   advec_u.cu:33: warning: KL002: tunable 'TILE_FACTOR_X' is never
     ///   referenced [kernel 'advec_u']
     std::string render() const;
+
+    /// Machine-readable form for `kl-lint --format=json`. Stable schema
+    /// (docs/LINTING.md): {code, severity, kernel, file, line, message},
+    /// always all six keys.
+    json::Value to_json() const;
 };
+
+/// Deterministic ordering used everywhere diagnostics are reported: by
+/// code, then by subject (kernel/node label). Severity, message and
+/// location do not participate, so a stable sort preserves emission order
+/// within one (code, subject) group.
+bool diagnostic_order(const Diagnostic& a, const Diagnostic& b) noexcept;
+
+/// Stable-sorts into `diagnostic_order`. Every public lint entry point
+/// returns its findings sorted this way so output is reproducible across
+/// runs and container-iteration orders.
+void sort_diagnostics(std::vector<Diagnostic>& diagnostics);
 
 bool has_errors(const std::vector<Diagnostic>& diagnostics) noexcept;
 size_t count_severity(const std::vector<Diagnostic>& diagnostics, Severity severity) noexcept;

@@ -650,6 +650,7 @@ std::vector<Diagnostic> lint_kernel(const KernelDef& def, const LintOptions& opt
                 def));
         }
     }
+    sort_diagnostics(diags);
     return diags;
 }
 
@@ -745,6 +746,7 @@ std::vector<Diagnostic> lint_wisdom(
                 "names unknown device '" + record.device_name + "'");
         }
     }
+    sort_diagnostics(diags);
     return diags;
 }
 
@@ -807,6 +809,7 @@ std::vector<Diagnostic> lint_launch_args(
                 line));
         }
     }
+    sort_diagnostics(diags);
     return diags;
 }
 
@@ -856,6 +859,7 @@ std::vector<Diagnostic> lint_registration(
             diags.push_back(std::move(d));
         }
     }
+    sort_diagnostics(diags);
     return diags;
 }
 
@@ -872,7 +876,7 @@ void enforce(
         }
         std::cerr << "kl-lint: " << d.render() << "\n";
     }
-    if (mode == core::LintMode::Error && has_errors(diagnostics)) {
+    if (mode >= core::LintMode::Error && has_errors(diagnostics)) {
         std::string message = "kl-lint found "
             + std::to_string(count_severity(diagnostics, Severity::Error))
             + " error(s) in kernel '" + subject + "':";

@@ -100,4 +100,27 @@ struct kernel_arg_traits<DeviceArray<T>> {
     }
 };
 
+/// Declare how a kernel accesses a buffer at the call site:
+///
+///     kernel.launch(n, write_only(c), read_only(a), read_only(b), n);
+///
+/// Roles sharpen the graph data-flow analysis (docs/LINTING.md): without a
+/// declaration the analyzer must assume every buffer is read *and*
+/// written, which can report hazards between launches that in fact only
+/// share inputs.
+template<typename T>
+KernelArg read_only(const DeviceArray<T>& array) {
+    return make_arg(array).with_role(ArgRole::Read);
+}
+
+template<typename T>
+KernelArg write_only(const DeviceArray<T>& array) {
+    return make_arg(array).with_role(ArgRole::Write);
+}
+
+template<typename T>
+KernelArg read_write(const DeviceArray<T>& array) {
+    return make_arg(array).with_role(ArgRole::ReadWrite);
+}
+
 }  // namespace kl::core

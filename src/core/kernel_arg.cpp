@@ -103,6 +103,29 @@ bool scalar_matches_cuda_type(ScalarType actual, const std::string& cuda_type) n
         && scalar_size(*expected) == scalar_size(actual);
 }
 
+const char* arg_role_name(ArgRole role) noexcept {
+    switch (role) {
+        case ArgRole::Auto:
+            return "auto";
+        case ArgRole::Read:
+            return "read";
+        case ArgRole::Write:
+            return "write";
+        case ArgRole::ReadWrite:
+            return "readwrite";
+    }
+    return "?";
+}
+
+KernelArg KernelArg::with_role(ArgRole role) const {
+    if (!is_buffer_) {
+        throw Error("kernel argument is not a buffer: cannot declare an access role");
+    }
+    KernelArg arg = *this;
+    arg.role_ = role;
+    return arg;
+}
+
 sim::DevicePtr KernelArg::device_ptr() const {
     if (!is_buffer_) {
         throw Error("kernel argument is not a buffer");
@@ -151,6 +174,11 @@ json::Value KernelArg::describe() const {
     if (is_buffer_) {
         out["kind"] = "buffer";
         out["count"] = static_cast<int64_t>(count_);
+        // Only declared roles are recorded; Auto is the implicit default,
+        // which keeps pre-existing capture files byte-identical.
+        if (role_ != ArgRole::Auto) {
+            out["role"] = arg_role_name(role_);
+        }
     } else {
         out["kind"] = "scalar";
         std::optional<Value> v = to_value();

@@ -32,6 +32,20 @@ std::optional<ScalarType> scalar_from_cuda_type(const std::string& cuda_type) no
 /// spellings are permissive (return true).
 bool scalar_matches_cuda_type(ScalarType actual, const std::string& cuda_type) noexcept;
 
+/// How a kernel reads or writes a buffer argument, as declared by the
+/// caller (or inferred by the static analysis). Auto means "not declared":
+/// the graph analyzer then infers a role from the kernel signature
+/// (const-qualified pointer parameters are reads, declared output_arg
+/// indices are read-write) and falls back to the conservative ReadWrite.
+enum class ArgRole : uint8_t {
+    Auto,       ///< undeclared; analysis infers, conservatively ReadWrite
+    Read,       ///< the kernel only reads the buffer
+    Write,      ///< the kernel only writes the buffer
+    ReadWrite,  ///< the kernel both reads and writes the buffer
+};
+
+const char* arg_role_name(ArgRole role) noexcept;
+
 template<typename T>
 constexpr ScalarType scalar_type_of() {
     if constexpr (std::is_same_v<T, int8_t>) {
@@ -70,11 +84,14 @@ class KernelArg {
         return arg;
     }
 
-    static KernelArg buffer(sim::DevicePtr ptr, ScalarType element_type, size_t count) {
+    static KernelArg
+    buffer(sim::DevicePtr ptr, ScalarType element_type, size_t count,
+           ArgRole role = ArgRole::Auto) {
         KernelArg arg;
         arg.type_ = element_type;
         arg.is_buffer_ = true;
         arg.count_ = count;
+        arg.role_ = role;
         std::memcpy(arg.storage_, &ptr, sizeof(ptr));
         return arg;
     }
@@ -108,6 +125,15 @@ class KernelArg {
 
     sim::DevicePtr device_ptr() const;
 
+    /// Declared access role (buffers only; scalars are always Auto).
+    ArgRole role() const noexcept {
+        return role_;
+    }
+
+    /// Copy of this argument with an explicit access role. Throws on
+    /// scalars: only buffers have a meaningful direction.
+    KernelArg with_role(ArgRole role) const;
+
     /// Scalar arguments convert to a Value so that expressions such as
     /// `problem_size(arg3)` can read them. Buffers return nullopt.
     std::optional<Value> to_value() const;
@@ -129,6 +155,7 @@ class KernelArg {
 
     ScalarType type_ = ScalarType::I32;
     bool is_buffer_ = false;
+    ArgRole role_ = ArgRole::Auto;
     size_t count_ = 0;
     alignas(8) unsigned char storage_[8] = {};
 };
@@ -139,6 +166,16 @@ template<typename T, typename = void>
 struct kernel_arg_traits {
     static KernelArg to_arg(const T& value) {
         return KernelArg::scalar(value);
+    }
+};
+
+/// A KernelArg passes through unchanged, so role-tagged arguments (from
+/// read_only()/write_only(), see device_buffer.hpp) mix freely with plain
+/// values in the same launch call.
+template<>
+struct kernel_arg_traits<KernelArg> {
+    static KernelArg to_arg(const KernelArg& value) {
+        return value;
     }
 };
 

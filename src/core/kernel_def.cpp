@@ -82,14 +82,16 @@ std::vector<std::string> split_params(std::string_view list) {
 /// the type is the parameter name.
 KernelParam parse_param(std::string_view decl) {
     KernelParam param;
-    std::vector<std::string> words;
+    // (word, seen after the first '*'?) — "const float*" makes the pointee
+    // const, but "float* const" only makes the pointer itself const.
+    std::vector<std::pair<std::string, bool>> words;
     std::string current;
     for (char c : decl) {
         if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
             current += c;
         } else {
             if (!current.empty()) {
-                words.push_back(current);
+                words.emplace_back(current, param.is_pointer);
                 current.clear();
             }
             if (c == '*' || c == '[') {
@@ -98,12 +100,13 @@ KernelParam parse_param(std::string_view decl) {
         }
     }
     if (!current.empty()) {
-        words.push_back(current);
+        words.emplace_back(current, param.is_pointer);
     }
     std::vector<std::string> meaningful;
-    for (const std::string& w : words) {
+    for (const auto& [w, after_star] : words) {
         if (w == "const" || w == "volatile" || w == "__restrict__" || w == "restrict"
             || w == "struct") {
+            param.is_const = param.is_const || (w == "const" && !after_star);
             continue;
         }
         meaningful.push_back(w);

@@ -57,6 +57,9 @@ struct KernelParam {
     std::string type;  ///< type spelling without qualifiers, e.g. "float" or "real"
     std::string name;  ///< parameter name; may be empty for unnamed parameters
     bool is_pointer = false;
+    /// Declared const (e.g. "const float*"). A const pointer parameter is a
+    /// read-only buffer for the graph data-flow analysis.
+    bool is_const = false;
 
     std::string to_string() const;
 };

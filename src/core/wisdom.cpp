@@ -180,6 +180,8 @@ const char* lint_mode_name(LintMode mode) noexcept {
             return "warn";
         case LintMode::Error:
             return "error";
+        case LintMode::Full:
+            return "full";
     }
     return "?";
 }
@@ -196,8 +198,12 @@ LintMode parse_lint_mode(const std::string& text) {
     if (value == "error" || value == "strict") {
         return LintMode::Error;
     }
+    if (value == "full") {
+        return LintMode::Full;
+    }
     throw Error(
-        "invalid KERNEL_LAUNCHER_LINT value '" + text + "' (expected off, warn or error)");
+        "invalid KERNEL_LAUNCHER_LINT value '" + text
+        + "' (expected off, warn, error or full)");
 }
 
 WisdomSettings WisdomSettings::from_env() {

@@ -106,6 +106,13 @@ class WisdomKernel {
         return def_;
     }
 
+    /// Process settings this kernel was registered with. The launch-graph
+    /// lint consults lint_mode() to pick the strictest mode among a
+    /// graph's kernels.
+    const WisdomSettings& settings() const noexcept {
+        return settings_;
+    }
+
     /// Launches with C++ arguments (scalars and DeviceArray buffers), on
     /// the current context's default stream.
     template<typename... Ts>

@@ -1,5 +1,6 @@
 #include "graph/graph.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cctype>
 #include <cstring>
@@ -9,6 +10,8 @@
 #include <utility>
 
 #include "analysis/diagnostics.hpp"
+#include "analysis/graph_lint.hpp"
+#include "analysis/lint.hpp"
 #include "trace/trace.hpp"
 #include "util/errors.hpp"
 #include "util/fs.hpp"
@@ -19,6 +22,10 @@ namespace {
 
 /// -1 until initialized from KERNEL_LAUNCHER_GRAPH; otherwise 0/1.
 std::atomic<int> g_enabled {-1};
+
+/// -1 means "no override": the graph lint mode resolves from the graph's
+/// kernels / the environment. Otherwise the LintMode value to force.
+std::atomic<int> g_lint_override {-1};
 
 bool parse_enabled(const std::string& text) {
     std::string lower;
@@ -60,6 +67,20 @@ bool enabled() {
 
 void set_enabled(bool on) {
     g_enabled.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+void set_lint_override(std::optional<core::LintMode> mode) {
+    g_lint_override.store(
+        mode.has_value() ? static_cast<int>(*mode) : -1,
+        std::memory_order_relaxed);
+}
+
+std::optional<core::LintMode> lint_override() {
+    int value = g_lint_override.load(std::memory_order_relaxed);
+    if (value < 0) {
+        return std::nullopt;
+    }
+    return static_cast<core::LintMode>(value);
 }
 
 // --- GraphCapture -----------------------------------------------------------
@@ -198,8 +219,31 @@ struct GraphExec::BakedNode {
     const char* span_name = "graph.node";
 };
 
+/// The precomputed state the replay-time shadow-memory oracle needs
+/// (KERNEL_LAUNCHER_LINT=full): node footprints and the happens-before
+/// relation, both invariant across replays, scalar updates and
+/// re-instantiations (buffer arguments cannot be updated).
+struct GraphShadowPlan {
+    std::vector<analysis::NodeFootprint> footprints;
+    analysis::Reachability reach;
+};
+
+/// The memoized KL006–KL009 analysis of one immutable recording. Computed
+/// on the first instantiate()/lint() and shared by every copy of the
+/// LaunchGraph, so repeat instantiations pay two atomic loads instead of
+/// the full pass. (A kernel source file edited on disk after the first
+/// run is not re-parsed — the same staleness window the compile cache
+/// accepts.)
+struct GraphAnalysisCache {
+    std::once_flag once;
+    std::vector<analysis::NodeFootprint> footprints;
+    std::vector<analysis::Diagnostic> diagnostics;
+};
+
 struct GraphExec::Impl {
     std::shared_ptr<const std::vector<Node>> source;
+    /// Set once at instantiation under full lint mode, immutable after.
+    std::shared_ptr<const GraphShadowPlan> shadow_plan;
     /// Replays hold this shared; update_scalar and invalidation-driven
     /// re-instantiation hold it exclusively.
     mutable std::shared_mutex mutex;
@@ -357,6 +401,94 @@ bool is_stale(const GraphExec::Impl& impl) {
     return false;
 }
 
+/// The lint mode the graph data-flow analysis runs under: the test/bench
+/// override when set, otherwise the strictest mode among the graph's
+/// kernels (they carry the process settings), otherwise — for graphs of
+/// pure memory operations — KERNEL_LAUNCHER_LINT itself.
+core::LintMode resolve_lint_mode(const std::vector<Node>& nodes) {
+    if (std::optional<core::LintMode> forced = lint_override()) {
+        return *forced;
+    }
+    bool any_launch = false;
+    core::LintMode mode = core::LintMode::Off;
+    for (const Node& node : nodes) {
+        if (node.kind == NodeKind::Launch) {
+            any_launch = true;
+            mode = std::max(mode, node.kernel->settings().lint_mode());
+        }
+    }
+    if (any_launch) {
+        return mode;
+    }
+    if (std::optional<std::string> env = get_env("KERNEL_LAUNCHER_LINT")) {
+        return core::parse_lint_mode(*env);
+    }
+    return core::LintMode::Warn;
+}
+
+/// Fills the per-recording analysis cache on first use.
+const GraphAnalysisCache&
+ensure_analysis(GraphAnalysisCache& cache, const std::vector<Node>& nodes) {
+    std::call_once(cache.once, [&] {
+        cache.footprints = analysis::graph_footprints(nodes);
+        cache.diagnostics = analysis::lint_footprints(cache.footprints);
+    });
+    return cache;
+}
+
+/// Instantiation-time static pass: KL006–KL009 over the recording
+/// (memoized). Returns the cached analysis so full mode can reuse the
+/// footprints for the oracle plan.
+const GraphAnalysisCache& lint_at_instantiate(
+    GraphAnalysisCache& cache,
+    const std::vector<Node>& nodes,
+    core::LintMode mode) {
+    trace::HostSpan span(
+        "lint",
+        "lint.graph",
+        {{"nodes", std::to_string(nodes.size())}});
+    const GraphAnalysisCache& cached = ensure_analysis(cache, nodes);
+    bump("kl.lint.graph.runs");
+    if (trace::counters_enabled()) {
+        for (const analysis::Diagnostic& d : cached.diagnostics) {
+            if (d.code == "KL006") {
+                bump("kl.lint.graph.kl006");
+            } else if (d.code == "KL007") {
+                bump("kl.lint.graph.kl007");
+            } else if (d.code == "KL008") {
+                bump("kl.lint.graph.kl008");
+            } else if (d.code == "KL009") {
+                bump("kl.lint.graph.kl009");
+            }
+        }
+    }
+    analysis::enforce(cached.diagnostics, mode, "launch graph");
+    return cached;
+}
+
+/// Replay-time dynamic cross-check (full mode): sweep the footprints
+/// through the shadow memory and refuse to submit a racy DAG. The static
+/// pass at instantiation reports the same hazard set, so a conflict here
+/// means the static analyzer and the oracle disagree — a bug either way.
+void run_shadow_oracle(const GraphShadowPlan& plan) {
+    bump("kl.lint.graph.oracle_runs");
+    std::vector<analysis::GraphHazard> hazards =
+        analysis::oracle_hazards(plan.footprints, plan.reach);
+    if (hazards.empty()) {
+        return;
+    }
+    bump("kl.lint.graph.oracle_hazards", hazards.size());
+    std::string message =
+        "graph replay blocked: the shadow-memory oracle found "
+        + std::to_string(hazards.size()) + " unordered conflict(s):";
+    for (const analysis::GraphHazard& h : hazards) {
+        message += "\n  nodes #" + std::to_string(h.first) + " and #"
+            + std::to_string(h.second) + " touch " + h.overlap.to_string() + " ("
+            + (h.write_write ? "write/write" : "read/write") + ")";
+    }
+    throw CudaError(message);
+}
+
 /// Functional-mode node effects, in recorded order — byte-for-byte the
 /// data movement of the eager Context::memcpy_*/memset_d8/launch paths.
 void execute_functional(const GraphExec::BakedNode& node, sim::Context& context) {
@@ -503,8 +635,17 @@ void rebake_launches(GraphExec::Impl& impl, sim::Context& context) {
 
 }  // namespace
 
+LaunchGraph::LaunchGraph(std::shared_ptr<const std::vector<Node>> nodes):
+    nodes_(std::move(nodes)),
+    analysis_(std::make_shared<GraphAnalysisCache>()) {}
+
+std::vector<analysis::Diagnostic> LaunchGraph::lint() const {
+    return ensure_analysis(*analysis_, *nodes_).diagnostics;
+}
+
 GraphExec LaunchGraph::instantiate() const {
     sim::Context& context = sim::Context::current();
+    const core::LintMode lint_mode = resolve_lint_mode(*nodes_);
     auto impl = std::make_shared<GraphExec::Impl>();
     impl->source = nodes_;
     {
@@ -512,6 +653,15 @@ GraphExec LaunchGraph::instantiate() const {
             "graph",
             "graph.instantiate",
             {{"nodes", std::to_string(nodes_->size())}});
+        if (lint_mode != core::LintMode::Off) {
+            const GraphAnalysisCache& cached =
+                lint_at_instantiate(*analysis_, *nodes_, lint_mode);
+            if (lint_mode == core::LintMode::Full) {
+                analysis::Reachability reach(cached.footprints);
+                impl->shadow_plan = std::make_shared<const GraphShadowPlan>(
+                    GraphShadowPlan {cached.footprints, std::move(reach)});
+            }
+        }
         instantiate_nodes(*impl, context, *nodes_);
         collect_epochs(*impl);
     }
@@ -525,6 +675,13 @@ void GraphExec::replay(sim::Stream* stream) {
     sim::Context& context = sim::Context::current();
     if (stream == nullptr) {
         stream = &context.default_stream();
+    }
+
+    // Full lint mode: validate this replay against the shadow-memory
+    // oracle before submitting anything. The plan is immutable (set once
+    // at instantiation), so no lock is needed.
+    if (impl.shadow_plan != nullptr) {
+        run_shadow_oracle(*impl.shadow_plan);
     }
 
     {

@@ -2,9 +2,12 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <vector>
 
+#include "analysis/diagnostics.hpp"
 #include "core/kernel_arg.hpp"
+#include "core/wisdom.hpp"
 #include "core/wisdom_kernel.hpp"
 #include "cudasim/context.hpp"
 
@@ -34,6 +37,14 @@ namespace kl::graph {
 /// disabled. set_enabled() overrides the environment, for tests.
 bool enabled();
 void set_enabled(bool on);
+
+/// Overrides the lint mode the graph data-flow analysis (KL006–KL009,
+/// docs/LINTING.md) runs under at instantiation, for tests and benches.
+/// Without an override the strictest lint_mode() among the graph's
+/// kernels applies (KERNEL_LAUNCHER_LINT for kernel-free graphs).
+/// nullopt restores the default resolution.
+void set_lint_override(std::optional<core::LintMode> mode);
+std::optional<core::LintMode> lint_override();
 
 /// Identifies a node within one capture/graph; assigned densely in
 /// recording order, so `deps` can only name already-recorded nodes and the
@@ -132,6 +143,11 @@ class GraphCapture {
     double capture_start_host_ = 0;
 };
 
+/// Lazily-computed, shared KL006-KL009 analysis of one recording (the
+/// footprints and diagnostics only depend on the immutable node list, so
+/// every instantiate() and lint() of the same recording reuses them).
+struct GraphAnalysisCache;
+
 /// An immutable recorded DAG. Cheap to copy (shared recording); the
 /// executable form is produced by instantiate().
 class LaunchGraph {
@@ -145,18 +161,25 @@ class LaunchGraph {
     }
 
     /// Resolves every node against the current context: selects configs,
-    /// compiles (or waits for) instances, runs lint checks, validates
-    /// geometry against the device, precomputes per-node timing and
-    /// marshals arguments. Throws where a launch would (compile errors,
-    /// KL004 under KERNEL_LAUNCHER_LINT=error, invalid geometry).
+    /// compiles (or waits for) instances, runs lint checks (including the
+    /// KL006–KL009 graph data-flow analysis), validates geometry against
+    /// the device, precomputes per-node timing and marshals arguments.
+    /// Throws where a launch would (compile errors, KL004/KL006 under
+    /// KERNEL_LAUNCHER_LINT=error, invalid geometry).
     GraphExec instantiate() const;
+
+    /// Runs only the KL006–KL009 graph data-flow analysis and returns its
+    /// findings (deterministic order, never throws on findings). Does not
+    /// compile or bake anything. The analysis is computed once per
+    /// recording and cached: repeat calls (and instantiate()) reuse it.
+    std::vector<analysis::Diagnostic> lint() const;
 
   private:
     friend class GraphCapture;
-    explicit LaunchGraph(std::shared_ptr<const std::vector<Node>> nodes):
-        nodes_(std::move(nodes)) {}
+    explicit LaunchGraph(std::shared_ptr<const std::vector<Node>> nodes);
 
     std::shared_ptr<const std::vector<Node>> nodes_;
+    std::shared_ptr<GraphAnalysisCache> analysis_;
 };
 
 /// An instantiated graph, ready to replay. Copies share one executable

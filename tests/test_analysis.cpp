@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 
 #include "analysis/lint.hpp"
@@ -446,6 +447,53 @@ TEST(Diagnostics, CountsAndErrorPredicate) {
     EXPECT_EQ(count_severity(diags, Severity::Warning), 2u);
     diags[0].severity = Severity::Error;
     EXPECT_TRUE(has_errors(diags));
+}
+
+TEST(Diagnostics, ToJsonEmitsTheFullStableSchema) {
+    Diagnostic d;
+    d.code = "KL002";
+    d.severity = Severity::Warning;
+    d.message = "tunable 'TILE_X' is never referenced";
+    d.kernel = "advec_u";
+    d.location = {"advec_u.cu", 33};
+    json::Value v = d.to_json();
+    EXPECT_EQ(v["code"].as_string(), "KL002");
+    EXPECT_EQ(v["severity"].as_string(), "warning");
+    EXPECT_EQ(v["kernel"].as_string(), "advec_u");
+    EXPECT_EQ(v["file"].as_string(), "advec_u.cu");
+    EXPECT_EQ(v["line"].as_int(), 33);
+    EXPECT_EQ(v["message"].as_string(), d.message);
+    // All six keys are always present, even when empty/zero.
+    json::Value empty = Diagnostic().to_json();
+    for (const char* key : {"code", "severity", "kernel", "file", "line", "message"}) {
+        EXPECT_TRUE(empty.contains(key)) << key;
+    }
+}
+
+TEST(Diagnostics, EmissionOrderIsDeterministic) {
+    // Every lint entry point returns (code, subject)-sorted findings, so
+    // reports are byte-identical across runs.
+    core::KernelBuilder builder(
+        "messy",
+        core::KernelSource::inline_source(
+            "messy.cu",
+            "__global__ void messy(float* a, int n) { a[threadIdx.x] = n; }"));
+    builder.tune("UNUSED_A", {1, 2});
+    builder.tune("UNUSED_B", {1, 2});
+    builder.define("UNUSED_C", Expr(4));
+    builder.output_arg(5);  // out of range: KL004 alongside the KL002s
+    std::vector<Diagnostic> first = lint_kernel(builder.build());
+    std::vector<Diagnostic> second = lint_kernel(builder.build());
+    ASSERT_GE(first.size(), 3u);
+    EXPECT_TRUE(std::is_sorted(first.begin(), first.end(), diagnostic_order));
+    EXPECT_EQ(render_all(first), render_all(second));
+
+    // sort_diagnostics is a stable sort over diagnostic_order.
+    std::vector<Diagnostic> shuffled = {first.rbegin(), first.rend()};
+    sort_diagnostics(shuffled);
+    for (size_t i = 0; i < first.size(); i++) {
+        EXPECT_EQ(shuffled[i].code, first[i].code) << i;
+    }
 }
 
 // --- enforcement modes --------------------------------------------------------

@@ -65,6 +65,15 @@ struct Fixture {
     explicit Fixture(sim::ExecutionMode mode = sim::ExecutionMode::Functional):
         context(sim::Context::create("NVIDIA RTX A4000", mode)) {
         set_enabled(true);
+        // Several tests here deliberately record racy or dependency-free
+        // DAGs (randomized differential suites, wide memset graphs); the
+        // KL006-KL009 data-flow analysis is exercised separately in
+        // test_graph_lint.cpp.
+        set_lint_override(core::LintMode::Off);
+    }
+
+    ~Fixture() {
+        set_lint_override(std::nullopt);
     }
 
     core::WisdomSettings settings() {

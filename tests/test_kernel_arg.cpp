@@ -64,6 +64,49 @@ TEST(KernelArg, BufferMetadata) {
     EXPECT_EQ(*static_cast<const sim::DevicePtr*>(arg.slot()), 0xABCDEu);
 }
 
+TEST(KernelArg, RolesDefaultToAutoAndAreDeclarable) {
+    KernelArg buffer = KernelArg::buffer(0x1000, ScalarType::F32, 8);
+    EXPECT_EQ(buffer.role(), ArgRole::Auto);
+
+    KernelArg read = buffer.with_role(ArgRole::Read);
+    EXPECT_EQ(read.role(), ArgRole::Read);
+    EXPECT_EQ(buffer.role(), ArgRole::Auto);  // with_role copies
+    EXPECT_EQ(read.device_ptr(), buffer.device_ptr());
+    EXPECT_EQ(read.count(), buffer.count());
+
+    KernelArg direct =
+        KernelArg::buffer(0x1000, ScalarType::F32, 8, ArgRole::Write);
+    EXPECT_EQ(direct.role(), ArgRole::Write);
+
+    // Scalars have no access direction.
+    EXPECT_EQ(KernelArg::scalar(1).role(), ArgRole::Auto);
+    EXPECT_THROW(KernelArg::scalar(1).with_role(ArgRole::Read), Error);
+}
+
+TEST(KernelArg, RoleNames) {
+    EXPECT_STREQ(arg_role_name(ArgRole::Auto), "auto");
+    EXPECT_STREQ(arg_role_name(ArgRole::Read), "read");
+    EXPECT_STREQ(arg_role_name(ArgRole::Write), "write");
+    EXPECT_STREQ(arg_role_name(ArgRole::ReadWrite), "readwrite");
+}
+
+TEST(KernelArg, RoleHelpersOnDeviceArrays) {
+    auto context = sim::Context::create("NVIDIA RTX A4000");
+    DeviceArray<float> buf(16);
+    EXPECT_EQ(make_arg(buf).role(), ArgRole::Auto);
+    EXPECT_EQ(read_only(buf).role(), ArgRole::Read);
+    EXPECT_EQ(write_only(buf).role(), ArgRole::Write);
+    EXPECT_EQ(read_write(buf).role(), ArgRole::ReadWrite);
+    EXPECT_EQ(read_only(buf).device_ptr(), buf.ptr());
+
+    // A pre-built KernelArg passes through into_args unchanged, role
+    // included.
+    std::vector<KernelArg> args = into_args(write_only(buf), 3);
+    ASSERT_EQ(args.size(), 2u);
+    EXPECT_EQ(args[0].role(), ArgRole::Write);
+    EXPECT_TRUE(args[1].is_scalar());
+}
+
 TEST(KernelArg, Describe) {
     json::Value scalar = KernelArg::scalar<int32_t>(9).describe();
     EXPECT_EQ(scalar["kind"].as_string(), "scalar");
@@ -74,6 +117,14 @@ TEST(KernelArg, Describe) {
     EXPECT_EQ(buffer["kind"].as_string(), "buffer");
     EXPECT_EQ(buffer["count"].as_int(), 64);
     EXPECT_FALSE(buffer.contains("value"));
+    // Undeclared (Auto) roles stay out of the description, so captures
+    // recorded before roles existed remain byte-identical.
+    EXPECT_FALSE(buffer.contains("role"));
+
+    json::Value declared = KernelArg::buffer(1, ScalarType::F32, 64)
+                               .with_role(ArgRole::Read)
+                               .describe();
+    EXPECT_EQ(declared["role"].as_string(), "read");
 }
 
 TEST(KernelArg, IntoArgsMixedPack) {

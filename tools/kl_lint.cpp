@@ -6,12 +6,17 @@
 //                                     kernels and the MicroHH stencils)
 //   kl-lint [options] file.cu ...     lint #pragma kernel_launcher-annotated
 //                                     CUDA sources
+//   kl-lint --graph graph.json ...    run the KL006-KL009 graph data-flow
+//                                     analysis over JSON graph descriptions
+//                                     (docs/LINTING.md documents the format)
 //
 // Options:
 //   --kernel NAME    kernel name for annotated sources (default: file stem)
 //   --wisdom FILE    also check FILE against the linted definition (KL005);
 //                    requires exactly one definition
 //   --device NAME    restrict device resource checks to NAME (repeatable)
+//   --format FMT     output format: text (default, human-readable to
+//                    stderr) or json (stable schema to stdout)
 //   --strict         exit nonzero on warnings as well as errors
 //   --no-notes       suppress note-severity findings
 //
@@ -21,9 +26,11 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <string>
 #include <vector>
 
+#include "analysis/graph_lint.hpp"
 #include "analysis/lint.hpp"
 #include "core/pragma.hpp"
 #include "microhh/definitions.hpp"
@@ -31,6 +38,7 @@
 #include "nvrtcsim/registry.hpp"
 #include "util/errors.hpp"
 #include "util/fs.hpp"
+#include "util/json.hpp"
 
 namespace {
 
@@ -39,8 +47,10 @@ namespace kla = kl::analysis;
 
 struct Options {
     bool builtin = false;
+    bool graph = false;
     bool strict = false;
     bool notes = true;
+    bool json_output = false;
     std::string kernel_name;
     std::string wisdom_path;
     std::vector<std::string> devices;
@@ -51,7 +61,9 @@ void usage(std::FILE* out) {
     std::fprintf(
         out,
         "usage: kl-lint --builtin | kl-lint [--kernel NAME] [--wisdom FILE]\n"
-        "               [--device NAME]... [--strict] [--no-notes] file.cu ...\n");
+        "               [--device NAME]... [--format text|json] [--strict]\n"
+        "               [--no-notes] file.cu ...\n"
+        "       kl-lint --graph [--format text|json] [--strict] graph.json ...\n");
 }
 
 std::string file_stem(const std::string& path) {
@@ -121,6 +133,170 @@ int severity_rank(kla::Severity s) {
     return static_cast<int>(s);
 }
 
+// --- --graph mode -----------------------------------------------------------
+//
+// A graph description is a JSON file (docs/LINTING.md, "Linting graph
+// descriptions"):
+//
+//   {
+//     "buffers": {"a": 4096, "b": 4096, "c": 4096},
+//     "nodes": [
+//       {"kind": "htod", "dst": "a"},
+//       {"kind": "htod", "dst": "b"},
+//       {"kind": "launch", "name": "vector_add", "deps": [0, 1],
+//        "reads": ["a", "b"], "writes": ["c"]},
+//       {"kind": "dtoh", "src": "c", "deps": [2]}
+//     ]
+//   }
+//
+// Buffer references are a buffer name (the whole buffer) or
+// {"buffer": "a", "offset": N, "bytes": M} for a sub-range. Kinds: launch
+// (reads/writes/readwrites), htod (dst), dtoh (src), dtod (dst, src),
+// memset (dst). kl-lint assigns each buffer a synthetic device address
+// range and runs the same analysis the library runs at graph
+// instantiation.
+
+uint64_t align_up(uint64_t value, uint64_t alignment) {
+    return (value + alignment - 1) / alignment * alignment;
+}
+
+kla::ByteInterval resolve_buffer_ref(
+    const kl::json::Value& ref,
+    const std::map<std::string, kla::ByteInterval>& buffers,
+    const std::string& where) {
+    if (ref.is_string()) {
+        auto it = buffers.find(ref.as_string());
+        if (it == buffers.end()) {
+            throw kl::Error(where + ": unknown buffer '" + ref.as_string() + "'");
+        }
+        return it->second;
+    }
+    if (ref.is_object()) {
+        const std::string name = ref["buffer"].as_string();
+        auto it = buffers.find(name);
+        if (it == buffers.end()) {
+            throw kl::Error(where + ": unknown buffer '" + name + "'");
+        }
+        const uint64_t size = it->second.end - it->second.begin;
+        const uint64_t offset = static_cast<uint64_t>(ref.get_int_or("offset", 0));
+        const uint64_t bytes = static_cast<uint64_t>(
+            ref.get_int_or("bytes", static_cast<int64_t>(size - offset)));
+        if (offset > size || bytes > size - offset) {
+            throw kl::Error(
+                where + ": range [" + std::to_string(offset) + ", "
+                + std::to_string(offset + bytes) + ") exceeds buffer '" + name
+                + "' of " + std::to_string(size) + " bytes");
+        }
+        return {it->second.begin + offset, it->second.begin + offset + bytes};
+    }
+    throw kl::Error(where + ": buffer reference must be a name or an object");
+}
+
+std::vector<kla::NodeFootprint> parse_graph_description(const std::string& path) {
+    kl::json::Value doc = kl::json::parse_file(path);
+
+    // Synthetic, page-aligned, non-adjacent address ranges: distinct
+    // buffers never alias, and off-by-one extents cannot touch a
+    // neighboring buffer. std::map iterates names in sorted order, so
+    // addresses (and with them diagnostics) are deterministic.
+    std::map<std::string, kla::ByteInterval> buffers;
+    uint64_t base = 0x10000000;
+    if (const kl::json::Value* bufs = doc.find("buffers")) {
+        for (const auto& [name, size] : bufs->as_object()) {
+            const uint64_t bytes = static_cast<uint64_t>(size.as_int());
+            buffers[name] = {base, base + bytes};
+            base = align_up(base + bytes + 4096, 4096);
+        }
+    }
+
+    std::vector<kla::NodeFootprint> nodes;
+    for (const kl::json::Value& n : doc["nodes"].as_array()) {
+        const std::string where = path + ": node #" + std::to_string(nodes.size());
+        kla::NodeFootprint fp;
+        if (const kl::json::Value* deps = n.find("deps")) {
+            for (const kl::json::Value& d : deps->as_array()) {
+                const int64_t dep = d.as_int();
+                if (dep < 0 || static_cast<size_t>(dep) >= nodes.size()) {
+                    throw kl::Error(
+                        where + ": dependency " + std::to_string(dep)
+                        + " must name an earlier node");
+                }
+                fp.deps.push_back(static_cast<size_t>(dep));
+            }
+        }
+        auto collect = [&](const char* key, bool reads, bool writes) {
+            if (const kl::json::Value* refs = n.find(key)) {
+                for (const kl::json::Value& ref : refs->as_array()) {
+                    kla::ByteInterval iv = resolve_buffer_ref(ref, buffers, where);
+                    if (reads) {
+                        fp.reads.push_back(iv);
+                    }
+                    if (writes) {
+                        fp.writes.push_back(iv);
+                    }
+                }
+            }
+        };
+        const std::string kind = n.get_string_or("kind", "");
+        if (kind == "launch") {
+            fp.label = "kernel '" + n.get_string_or("name", "anonymous") + "'";
+            collect("reads", true, false);
+            collect("writes", false, true);
+            collect("readwrites", true, true);
+        } else if (kind == "htod") {
+            fp.label = "memcpy htod";
+            fp.writes.push_back(resolve_buffer_ref(n["dst"], buffers, where));
+        } else if (kind == "dtoh") {
+            fp.label = "memcpy dtoh";
+            fp.reads.push_back(resolve_buffer_ref(n["src"], buffers, where));
+            fp.copies_out = true;
+        } else if (kind == "dtod") {
+            fp.label = "memcpy dtod";
+            fp.reads.push_back(resolve_buffer_ref(n["src"], buffers, where));
+            fp.writes.push_back(resolve_buffer_ref(n["dst"], buffers, where));
+        } else if (kind == "memset") {
+            fp.label = "memset";
+            fp.writes.push_back(resolve_buffer_ref(n["dst"], buffers, where));
+        } else {
+            throw kl::Error(
+                where + ": unknown kind '" + kind
+                + "' (want launch|htod|dtoh|dtod|memset)");
+        }
+        nodes.push_back(std::move(fp));
+    }
+    return nodes;
+}
+
+/// The --format=json document (docs/LINTING.md, "JSON output"):
+/// diagnostics in deterministic (code, subject) order, plus a summary.
+/// Printed to stdout; findings never go to stderr in this mode.
+void print_json_report(
+    std::vector<kla::Diagnostic> diagnostics,
+    size_t definitions,
+    size_t graph_nodes,
+    bool graph_mode) {
+    kla::sort_diagnostics(diagnostics);
+    kl::json::Value doc = kl::json::Value::object();
+    kl::json::Value list = kl::json::Value::array();
+    for (const kla::Diagnostic& d : diagnostics) {
+        list.push_back(d.to_json());
+    }
+    doc["diagnostics"] = std::move(list);
+    kl::json::Value summary = kl::json::Value::object();
+    summary["definitions"] = static_cast<int64_t>(definitions);
+    if (graph_mode) {
+        summary["nodes"] = static_cast<int64_t>(graph_nodes);
+    }
+    summary["errors"] =
+        static_cast<int64_t>(kla::count_severity(diagnostics, kla::Severity::Error));
+    summary["warnings"] =
+        static_cast<int64_t>(kla::count_severity(diagnostics, kla::Severity::Warning));
+    summary["notes"] =
+        static_cast<int64_t>(kla::count_severity(diagnostics, kla::Severity::Note));
+    doc["summary"] = std::move(summary);
+    std::fprintf(stdout, "%s\n", doc.dump_pretty().c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -134,12 +310,36 @@ int main(int argc, char** argv) {
             }
             return argv[++i];
         };
+        if (arg.rfind("--format=", 0) == 0) {
+            std::string value = arg.substr(9);
+            if (value == "json") {
+                opts.json_output = true;
+            } else if (value != "text") {
+                std::fprintf(
+                    stderr, "kl-lint: unknown format '%s' (want text or json)\n",
+                    value.c_str());
+                return 2;
+            }
+            continue;
+        }
         if (arg == "--builtin") {
             opts.builtin = true;
+        } else if (arg == "--graph") {
+            opts.graph = true;
         } else if (arg == "--strict") {
             opts.strict = true;
         } else if (arg == "--no-notes") {
             opts.notes = false;
+        } else if (arg == "--format") {
+            std::string value = next("--format");
+            if (value == "json") {
+                opts.json_output = true;
+            } else if (value != "text") {
+                std::fprintf(
+                    stderr, "kl-lint: unknown format '%s' (want text or json)\n",
+                    value.c_str());
+                return 2;
+            }
         } else if (arg == "--kernel") {
             opts.kernel_name = next("--kernel");
         } else if (arg == "--wisdom") {
@@ -157,9 +357,45 @@ int main(int argc, char** argv) {
             opts.files.push_back(arg);
         }
     }
-    if (!opts.builtin && opts.files.empty()) {
+    if ((!opts.builtin && opts.files.empty()) || (opts.graph && opts.builtin)) {
         usage(stderr);
         return 2;
+    }
+
+    if (opts.graph) {
+        std::vector<kla::Diagnostic> diagnostics;
+        size_t node_count = 0;
+        try {
+            for (const std::string& file : opts.files) {
+                std::vector<kla::NodeFootprint> nodes = parse_graph_description(file);
+                node_count += nodes.size();
+                std::vector<kla::Diagnostic> d = kla::lint_footprints(nodes);
+                diagnostics.insert(diagnostics.end(), d.begin(), d.end());
+            }
+        } catch (const kl::Error& e) {
+            std::fprintf(stderr, "kl-lint: %s\n", e.what());
+            return 2;
+        }
+        if (opts.json_output) {
+            print_json_report(diagnostics, 0, node_count, /*graph_mode=*/true);
+        } else {
+            for (const kla::Diagnostic& d : diagnostics) {
+                if (!opts.notes && d.severity == kla::Severity::Note) {
+                    continue;
+                }
+                std::fprintf(stderr, "%s\n", d.render().c_str());
+            }
+            std::fprintf(
+                stderr,
+                "kl-lint: %zu graph node(s): %zu error(s), %zu warning(s), %zu note(s)\n",
+                node_count,
+                kla::count_severity(diagnostics, kla::Severity::Error),
+                kla::count_severity(diagnostics, kla::Severity::Warning),
+                kla::count_severity(diagnostics, kla::Severity::Note));
+        }
+        const size_t errors = kla::count_severity(diagnostics, kla::Severity::Error);
+        const size_t warnings = kla::count_severity(diagnostics, kla::Severity::Warning);
+        return errors > 0 || (opts.strict && warnings > 0) ? 1 : 0;
     }
 
     kla::LintOptions lint_options;
@@ -222,33 +458,33 @@ int main(int argc, char** argv) {
         return 2;
     }
 
-    // Most severe first, stable within a severity.
-    std::stable_sort(
-        diagnostics.begin(),
-        diagnostics.end(),
-        [](const kla::Diagnostic& a, const kla::Diagnostic& b) {
-            return severity_rank(a.severity) > severity_rank(b.severity);
-        });
-    size_t printed = 0;
-    for (const kla::Diagnostic& d : diagnostics) {
-        if (!opts.notes && d.severity == kla::Severity::Note) {
-            continue;
+    if (opts.json_output) {
+        print_json_report(diagnostics, defs.size(), 0, /*graph_mode=*/false);
+    } else {
+        // Most severe first, stable within a severity.
+        std::stable_sort(
+            diagnostics.begin(),
+            diagnostics.end(),
+            [](const kla::Diagnostic& a, const kla::Diagnostic& b) {
+                return severity_rank(a.severity) > severity_rank(b.severity);
+            });
+        for (const kla::Diagnostic& d : diagnostics) {
+            if (!opts.notes && d.severity == kla::Severity::Note) {
+                continue;
+            }
+            std::fprintf(stderr, "%s\n", d.render().c_str());
         }
-        std::fprintf(stderr, "%s\n", d.render().c_str());
-        printed++;
+        std::fprintf(
+            stderr,
+            "kl-lint: %zu definition(s): %zu error(s), %zu warning(s), %zu note(s)\n",
+            defs.size(),
+            kla::count_severity(diagnostics, kla::Severity::Error),
+            kla::count_severity(diagnostics, kla::Severity::Warning),
+            kla::count_severity(diagnostics, kla::Severity::Note));
     }
 
     size_t errors = kla::count_severity(diagnostics, kla::Severity::Error);
     size_t warnings = kla::count_severity(diagnostics, kla::Severity::Warning);
-    size_t notes = kla::count_severity(diagnostics, kla::Severity::Note);
-    std::fprintf(
-        stderr,
-        "kl-lint: %zu definition(s): %zu error(s), %zu warning(s), %zu note(s)\n",
-        defs.size(),
-        errors,
-        warnings,
-        notes);
-    (void) printed;
 
     if (errors > 0 || (opts.strict && warnings > 0)) {
         return 1;
