@@ -4,9 +4,11 @@
 # and an AddressSanitizer+UBSan build (-DKL_SANITIZE=address) — plus a
 # lint-graphs stage that runs `kl-lint --graph --strict` over the
 # checked-in fixture DAGs (the dependency-complete one must pass, the
-# seeded-hazard one must fail with KL006).
+# seeded-hazard one must fail with KL006), and a mem-stress stage that
+# reruns the randomized allocator suite (docs/MEMORY.md) at 10x its
+# default seed counts via KERNEL_LAUNCHER_MEM_STRESS_SEEDS.
 #
-# Usage:  scripts/check.sh [default|thread|address|lint-graphs]...
+# Usage:  scripts/check.sh [default|thread|address|lint-graphs|mem-stress]...
 #         (no arguments runs all of them)
 #
 # Each variant configures into its own build directory (build-check-NAME)
@@ -19,7 +21,7 @@ jobs=${JOBS:-$(getconf _NPROCESSORS_ONLN 2> /dev/null || nproc 2> /dev/null || e
 
 variants=("$@")
 if [ ${#variants[@]} -eq 0 ]; then
-    variants=(default thread address lint-graphs)
+    variants=(default thread address lint-graphs mem-stress)
 fi
 
 # Static data-flow analysis over the fixture DAGs: one graph is
@@ -47,6 +49,25 @@ run_lint_graphs() {
     echo "check.sh: lint-graphs stage passed"
 }
 
+# The randomized allocator stress suite at 10x its default seed counts:
+# 1000+ schedules through the stream-ordered pool, each cross-checked
+# against the AllocOracle reference model and differentially against the
+# sync engine (docs/MEMORY.md).
+run_mem_stress() {
+    local dir="$repo/build-check-mem-stress"
+
+    echo "=== [mem-stress] build test_async_memory ==="
+    cmake -B "$dir" -S "$repo" || return 1
+    cmake --build "$dir" -j "$jobs" --target test_async_memory || return 1
+
+    echo "=== [mem-stress] 10x seeds ==="
+    KERNEL_LAUNCHER_MEM_STRESS_SEEDS=10 "$dir/tests/test_async_memory" || {
+        echo "check.sh: randomized allocator stress suite failed at 10x seeds" >&2
+        return 1
+    }
+    echo "check.sh: mem-stress stage passed"
+}
+
 run_variant() {
     local name=$1
     local dir="$repo/build-check-$name"
@@ -56,8 +77,9 @@ run_variant() {
         thread) config=(-DKL_SANITIZE=thread) ;;
         address) config=(-DKL_SANITIZE=address) ;;
         lint-graphs) run_lint_graphs; return $? ;;
+        mem-stress) run_mem_stress; return $? ;;
         *)
-            echo "check.sh: unknown variant '$name' (want default|thread|address|lint-graphs)" >&2
+            echo "check.sh: unknown variant '$name' (want default|thread|address|lint-graphs|mem-stress)" >&2
             return 2
             ;;
     esac

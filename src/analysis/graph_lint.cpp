@@ -117,6 +117,12 @@ NodeFootprint footprint_with_signature(
             fp.label = "memset";
             fp.writes.push_back({node.dst, node.dst + node.bytes});
             break;
+        case graph::NodeKind::Upload:
+            // A zero-copy payload bind writes the whole destination block,
+            // exactly like the htod copy it replaces.
+            fp.label = "upload";
+            fp.writes.push_back({node.dst, node.dst + node.bytes});
+            break;
     }
     // Zero-byte memory operations have no footprint.
     auto drop_empty = [](std::vector<ByteInterval>& v) {

@@ -1,6 +1,7 @@
 #include "cudasim/context.hpp"
 
 #include <cstring>
+#include <shared_mutex>
 
 #include "trace/trace.hpp"
 #include "util/errors.hpp"
@@ -40,6 +41,7 @@ Context::Context(const DeviceProperties& device, ExecutionMode mode):
     // The recorder must outlive the compile pool (whose jobs trace against
     // this context's clock); force it into existence first.
     trace::ensure_initialized();
+    memory_.set_capacity(device.global_memory_bytes);
     streams_.push_back(std::make_unique<Stream>(0));
     previous_current_ = g_current_context.exchange(this, std::memory_order_acq_rel);
 }
@@ -84,21 +86,32 @@ DevicePtr Context::malloc(uint64_t size) {
         trace::counter("cuda.mallocs").add(1);
         trace::counter("cuda.bytes_allocated").add(size);
     }
-    // The mutex serializes the capacity check against concurrent mallocs;
-    // the pool itself is internally synchronized.
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (memory_.bytes_in_use() + size > device_.global_memory_bytes) {
-        throw CudaError(
-            "out of device memory: requested " + std::to_string(size) + " bytes, "
-            + std::to_string(device_.global_memory_bytes - memory_.bytes_in_use())
-            + " available");
+    // Capacity checking lives in the pool (set_capacity in the ctor); no
+    // context lock on the allocation path.
+    if (mem_mode() == MemMode::Async) {
+        return memory_.allocate_async(size, default_stream(), clock_.now());
     }
     return memory_.allocate(size);
 }
 
 void Context::free(DevicePtr ptr) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    if (mem_mode() == MemMode::Async) {
+        memory_.free_async(ptr, default_stream(), clock_.now());
+        return;
+    }
     memory_.free(ptr);
+}
+
+DevicePtr Context::malloc_async(uint64_t size, Stream& stream) {
+    if (trace::counters_enabled()) {
+        trace::counter("cuda.mallocs").add(1);
+        trace::counter("cuda.bytes_allocated").add(size);
+    }
+    return memory_.allocate_async(size, stream, clock_.now());
+}
+
+void Context::free_async(DevicePtr ptr, Stream& stream) {
+    memory_.free_async(ptr, stream, clock_.now());
 }
 
 double Context::transfer_seconds(uint64_t size) const {
@@ -108,6 +121,9 @@ double Context::transfer_seconds(uint64_t size) const {
 void Context::memcpy_htod(DevicePtr dst, const void* src, uint64_t size) {
     memory_.check_range(dst, size);
     if (mode_ == ExecutionMode::Functional) {
+        // The reclaim fence keeps release_all() from unmapping the block
+        // while its resolved host pointer is being written.
+        std::shared_lock<std::shared_mutex> fence(memory_.reclaim_fence());
         std::memcpy(memory_.resolve(dst, size), src, size);
     }
     const double start = clock_.now();
@@ -118,7 +134,8 @@ void Context::memcpy_htod(DevicePtr dst, const void* src, uint64_t size) {
 void Context::memcpy_dtoh(void* dst, DevicePtr src, uint64_t size) {
     memory_.check_range(src, size);
     if (mode_ == ExecutionMode::Functional) {
-        void* host = memory_.resolve_if_materialized(src, size);
+        std::shared_lock<std::shared_mutex> fence(memory_.reclaim_fence());
+        const void* host = memory_.resolve_if_materialized(src, size);
         if (host != nullptr) {
             std::memcpy(dst, host, size);
         } else {
@@ -135,9 +152,18 @@ void Context::memcpy_dtod(DevicePtr dst, DevicePtr src, uint64_t size) {
     memory_.check_range(src, size);
     memory_.check_range(dst, size);
     if (mode_ == ExecutionMode::Functional) {
-        void* from = memory_.resolve_if_materialized(src, size);
-        if (from != nullptr) {
-            std::memmove(memory_.resolve(dst, size), from, size);
+        std::shared_lock<std::shared_mutex> fence(memory_.reclaim_fence());
+        if (memory_.is_materialized(src)) {
+            // Materialize the destination first: when src and dst share a
+            // block, the write-side detach must not drop the baseline the
+            // source pointer would read from.
+            void* to = memory_.resolve(dst, size);
+            const void* from = memory_.resolve_if_materialized(src, size);
+            if (from != nullptr) {
+                std::memmove(to, from, size);
+            } else {
+                std::memset(to, 0, size);
+            }
         } else if (memory_.is_materialized(dst)) {
             std::memset(memory_.resolve(dst, size), 0, size);
         }
@@ -153,6 +179,7 @@ void Context::memcpy_dtod(DevicePtr dst, DevicePtr src, uint64_t size) {
 void Context::memset_d8(DevicePtr dst, uint8_t value, uint64_t size) {
     memory_.check_range(dst, size);
     if (mode_ == ExecutionMode::Functional) {
+        std::shared_lock<std::shared_mutex> fence(memory_.reclaim_fence());
         // Zero-fill of untouched memory is already the materialization
         // default; only a nonzero fill forces materialization.
         if (value != 0 || memory_.is_materialized(dst)) {
@@ -213,6 +240,10 @@ const LaunchRecord& Context::launch(
         params.constants = &image.constants;
         params.args = args;
         params.num_args = num_args;
+        // The kernel implementation resolves device buffers to host
+        // pointers; the reclaim fence keeps release_all() out while they
+        // are in use.
+        std::shared_lock<std::shared_mutex> fence(memory_.reclaim_fence());
         image.impl(params);
     }
 

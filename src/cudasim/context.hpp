@@ -118,8 +118,17 @@ class Context {
 
     // --- memory operations (with modeled PCIe transfer time) -------------
 
+    /// Allocate/free, routed through the engine selected by mem_mode():
+    /// Async orders the operation on the default stream (cudaMallocAsync
+    /// with stream 0 semantics), Sync uses the legacy locked path.
     DevicePtr malloc(uint64_t size);
     void free(DevicePtr ptr);
+
+    /// Stream-ordered allocate/free on an explicit stream (cuMemAllocAsync/
+    /// cuMemFreeAsync). Always uses the stream-ordered engine regardless of
+    /// mem_mode().
+    DevicePtr malloc_async(uint64_t size, Stream& stream);
+    void free_async(DevicePtr ptr, Stream& stream);
     void memcpy_htod(DevicePtr dst, const void* src, uint64_t size);
     void memcpy_dtoh(void* dst, DevicePtr src, uint64_t size);
     void memcpy_dtod(DevicePtr dst, DevicePtr src, uint64_t size);
@@ -156,7 +165,7 @@ class Context {
     MemoryPool memory_;
     SimClock clock_;
     PerfModel perf_model_;
-    mutable std::mutex mutex_;  ///< guards streams_, last_launch_, malloc accounting
+    mutable std::mutex mutex_;  ///< guards streams_ and last_launch_
     std::vector<std::unique_ptr<Stream>> streams_;
     LaunchRecord last_launch_;
     std::atomic<uint64_t> launch_count_ {0};

@@ -175,6 +175,29 @@ NodeId GraphCapture::add_memset(
     return add_node(std::move(node));
 }
 
+NodeId GraphCapture::add_upload(
+    sim::DevicePtr dst,
+    sim::Payload payload,
+    std::vector<NodeId> deps) {
+    Node node;
+    node.kind = NodeKind::Upload;
+    node.deps = std::move(deps);
+    node.dst = dst;
+    node.bytes = payload.size;
+    node.payload = std::move(payload);
+    // Recording references the snapshot; zero payload bytes are copied.
+    // The counter exists (interned at zero) so tests can pin it.
+    if (trace::counters_enabled()) {
+        trace::counter("kl.mem.capture.bytes_copied");
+    }
+    return add_node(std::move(node));
+}
+
+NodeId GraphCapture::add_upload(sim::DevicePtr dst, std::vector<NodeId> deps) {
+    return add_upload(
+        dst, sim::Context::current().memory().snapshot(dst), std::move(deps));
+}
+
 LaunchGraph GraphCapture::finish() {
     bump("kl.graph.captures");
     if (trace::spans_enabled()) {
@@ -214,6 +237,7 @@ struct GraphExec::BakedNode {
     void* host_dst = nullptr;
     uint64_t bytes = 0;
     uint8_t fill = 0;
+    sim::Payload payload;
     // Schedule
     double duration = 0;  ///< modeled seconds on the stream timeline
     const char* span_name = "graph.node";
@@ -252,6 +276,9 @@ struct GraphExec::Impl {
     /// observed; a mismatch against the kernel's live epoch marks the
     /// whole executable stale.
     std::vector<std::pair<core::WisdomKernel*, uint64_t>> epochs;  ///< guarded by mutex
+    /// MemoryPool::epoch() at bake time; a mismatch (release_all happened)
+    /// marks the executable stale exactly like a kernel cache epoch bump.
+    uint64_t mem_epoch = 0;                                        ///< guarded by mutex
     std::atomic<uint64_t> replays {0};
     std::atomic<uint64_t> instantiations {0};
     std::atomic<double> last_end {0};
@@ -315,6 +342,46 @@ double memset_seconds(const sim::Context& context, uint64_t bytes) {
     return static_cast<double>(bytes) / (context.device().memory_bandwidth_gbs * 1e9);
 }
 
+/// Bounds-checks one memory node's device operands and precomputes its
+/// modeled duration. Called at initial bake and again on every rebake —
+/// after a MemoryPool::release_all() the recorded pointers are permanently
+/// unmapped, so this is where a stale executable fails loudly instead of
+/// touching freed blocks.
+void validate_memory_node(GraphExec::BakedNode& node, sim::Context& context) {
+    switch (node.kind) {
+        case NodeKind::Launch:
+            break;
+        case NodeKind::MemcpyHtoD:
+            context.memory().check_range(node.dst, node.bytes);
+            node.duration = context.transfer_seconds(node.bytes);
+            node.span_name = "graph.memcpy.htod";
+            break;
+        case NodeKind::MemcpyDtoH:
+            context.memory().check_range(node.src, node.bytes);
+            node.duration = context.transfer_seconds(node.bytes);
+            node.span_name = "graph.memcpy.dtoh";
+            break;
+        case NodeKind::MemcpyDtoD:
+            context.memory().check_range(node.src, node.bytes);
+            context.memory().check_range(node.dst, node.bytes);
+            node.duration = dtod_seconds(context, node.bytes);
+            node.span_name = "graph.memcpy.dtod";
+            break;
+        case NodeKind::Memset:
+            context.memory().check_range(node.dst, node.bytes);
+            node.duration = memset_seconds(context, node.bytes);
+            node.span_name = "graph.memset";
+            break;
+        case NodeKind::Upload:
+            // Size agreement with the whole allocation is enforced by
+            // bind() at replay; here the range must at least be live.
+            context.memory().check_range(node.dst, node.bytes);
+            node.duration = context.transfer_seconds(node.bytes);
+            node.span_name = "graph.upload";
+            break;
+    }
+}
+
 /// Initial bake: copy the recording into executable nodes, resolve every
 /// launch, bounds-check every memory operand, and precompute durations.
 void instantiate_nodes(
@@ -335,32 +402,12 @@ void instantiate_nodes(
         node.host_dst = recorded.host_dst;
         node.bytes = recorded.bytes;
         node.fill = recorded.fill;
-        switch (node.kind) {
-            case NodeKind::Launch:
-                bake_launch_node(node, context);
-                node.span_name = "graph.kernel";
-                break;
-            case NodeKind::MemcpyHtoD:
-                context.memory().check_range(node.dst, node.bytes);
-                node.duration = context.transfer_seconds(node.bytes);
-                node.span_name = "graph.memcpy.htod";
-                break;
-            case NodeKind::MemcpyDtoH:
-                context.memory().check_range(node.src, node.bytes);
-                node.duration = context.transfer_seconds(node.bytes);
-                node.span_name = "graph.memcpy.dtoh";
-                break;
-            case NodeKind::MemcpyDtoD:
-                context.memory().check_range(node.src, node.bytes);
-                context.memory().check_range(node.dst, node.bytes);
-                node.duration = dtod_seconds(context, node.bytes);
-                node.span_name = "graph.memcpy.dtod";
-                break;
-            case NodeKind::Memset:
-                context.memory().check_range(node.dst, node.bytes);
-                node.duration = memset_seconds(context, node.bytes);
-                node.span_name = "graph.memset";
-                break;
+        node.payload = recorded.payload;
+        if (node.kind == NodeKind::Launch) {
+            bake_launch_node(node, context);
+            node.span_name = "graph.kernel";
+        } else {
+            validate_memory_node(node, context);
         }
         impl.nodes.push_back(std::move(node));
     }
@@ -392,7 +439,10 @@ void collect_epochs(GraphExec::Impl& impl) {
     }
 }
 
-bool is_stale(const GraphExec::Impl& impl) {
+bool is_stale(const GraphExec::Impl& impl, sim::Context& context) {
+    if (impl.mem_epoch != context.memory().epoch()) {
+        return true;
+    }
     for (const auto& [kernel, epoch] : impl.epochs) {
         if (kernel->cache_epoch() != epoch) {
             return true;
@@ -512,10 +562,14 @@ void execute_functional(const GraphExec::BakedNode& node, sim::Context& context)
             break;
         }
         case NodeKind::MemcpyHtoD:
+            // The legacy path re-streams the payload bytes from the live
+            // host pointer on every replay; kl.mem.replay.bytes_copied is
+            // the regression tripwire zero-copy graphs pin to 0.
             std::memcpy(memory.resolve(node.dst, node.bytes), node.host_src, node.bytes);
+            bump("kl.mem.replay.bytes_copied", node.bytes);
             break;
         case NodeKind::MemcpyDtoH: {
-            void* host = memory.resolve_if_materialized(node.src, node.bytes);
+            const void* host = memory.resolve_if_materialized(node.src, node.bytes);
             if (host != nullptr) {
                 std::memcpy(node.host_dst, host, node.bytes);
             } else {
@@ -525,9 +579,16 @@ void execute_functional(const GraphExec::BakedNode& node, sim::Context& context)
             break;
         }
         case NodeKind::MemcpyDtoD: {
-            void* from = memory.resolve_if_materialized(node.src, node.bytes);
-            if (from != nullptr) {
-                std::memmove(memory.resolve(node.dst, node.bytes), from, node.bytes);
+            if (memory.is_materialized(node.src)) {
+                // Destination first: a same-block copy's write-side detach
+                // must not drop the baseline the source reads from.
+                void* to = memory.resolve(node.dst, node.bytes);
+                const void* from = memory.resolve_if_materialized(node.src, node.bytes);
+                if (from != nullptr) {
+                    std::memmove(to, from, node.bytes);
+                } else {
+                    std::memset(to, 0, node.bytes);
+                }
             } else if (memory.is_materialized(node.dst)) {
                 std::memset(memory.resolve(node.dst, node.bytes), 0, node.bytes);
             }
@@ -537,6 +598,13 @@ void execute_functional(const GraphExec::BakedNode& node, sim::Context& context)
             if (node.fill != 0 || memory.is_materialized(node.dst)) {
                 std::memset(memory.resolve(node.dst, node.bytes), node.fill, node.bytes);
             }
+            break;
+        case NodeKind::Upload:
+            // Zero-copy: re-bind the block to the recorded snapshot. A
+            // replay after replay with no intervening write is a no-op
+            // (the dirty flag short-circuits). Copies zero bytes; the
+            // interned-but-never-bumped replay counter stays 0.
+            memory.bind(node.dst, node.payload);
             break;
     }
 }
@@ -557,6 +625,14 @@ void submit_locked(GraphExec::Impl& impl, sim::Context& context, sim::Stream& st
     }
 
     const bool functional = context.mode() == sim::ExecutionMode::Functional;
+    // Functional replay resolves pool blocks to host pointers; holding the
+    // reclaim fence shared keeps a concurrent release_all() from unmapping
+    // them mid-replay (it waits for the fence, then the epoch bump makes
+    // the next replay fail its staleness re-validation loudly).
+    std::shared_lock<std::shared_mutex> fence;
+    if (functional) {
+        fence = std::shared_lock<std::shared_mutex>(context.memory().reclaim_fence());
+    }
     uint32_t track = 0;
     if (spans) {
         track = trace::named_track("stream " + std::to_string(stream.id()));
@@ -616,9 +692,12 @@ void submit_locked(GraphExec::Impl& impl, sim::Context& context, sim::Stream& st
     }
 }
 
-/// (Re-)resolves every launch node and refreshes the epoch table. Caller
-/// holds impl.mutex exclusively.
-void rebake_launches(GraphExec::Impl& impl, sim::Context& context) {
+/// (Re-)resolves every launch node, re-validates every memory operand and
+/// refreshes the epoch table. Caller holds impl.mutex exclusively. After a
+/// pool release_all() the recorded device pointers are permanently
+/// unmapped, so the re-validation throws instead of letting the replay
+/// touch recycled address space.
+void rebake_nodes(GraphExec::Impl& impl, sim::Context& context) {
     trace::HostSpan span(
         "graph",
         "graph.instantiate",
@@ -626,9 +705,12 @@ void rebake_launches(GraphExec::Impl& impl, sim::Context& context) {
     for (GraphExec::BakedNode& node : impl.nodes) {
         if (node.kind == NodeKind::Launch) {
             bake_launch_node(node, context);
+        } else {
+            validate_memory_node(node, context);
         }
     }
     collect_epochs(impl);
+    impl.mem_epoch = context.memory().epoch();
     impl.instantiations.fetch_add(1, std::memory_order_relaxed);
     bump("kl.graph.instantiates");
 }
@@ -664,6 +746,7 @@ GraphExec LaunchGraph::instantiate() const {
         }
         instantiate_nodes(*impl, context, *nodes_);
         collect_epochs(*impl);
+        impl->mem_epoch = context.memory().epoch();
     }
     impl->instantiations.fetch_add(1, std::memory_order_relaxed);
     bump("kl.graph.instantiates");
@@ -686,19 +769,20 @@ void GraphExec::replay(sim::Stream* stream) {
 
     {
         std::shared_lock<std::shared_mutex> lock(impl.mutex);
-        if (!is_stale(impl)) {
+        if (!is_stale(impl, context)) {
             submit_locked(impl, context, *stream);
             return;
         }
     }
 
-    // A recorded kernel saw clear_cache since the bake: re-instantiate
-    // under the exclusive lock, then replay in the same critical section
-    // (concurrent replays that lost the race re-check and proceed shared).
+    // A recorded kernel saw clear_cache (or the pool saw release_all)
+    // since the bake: re-instantiate under the exclusive lock, then replay
+    // in the same critical section (concurrent replays that lost the race
+    // re-check and proceed shared).
     std::unique_lock<std::shared_mutex> lock(impl.mutex);
-    if (is_stale(impl)) {
+    if (is_stale(impl, context)) {
         bump("kl.graph.invalidations");
-        rebake_launches(impl, context);
+        rebake_nodes(impl, context);
     }
     submit_locked(impl, context, *stream);
 }

@@ -57,6 +57,7 @@ enum class NodeKind {
     MemcpyDtoH,  ///< device -> host copy
     MemcpyDtoD,  ///< device -> device copy
     Memset,      ///< byte fill of device memory
+    Upload,      ///< zero-copy payload upload: replay re-binds the block
 };
 
 /// One recorded node: the union of everything any node kind needs. An
@@ -77,6 +78,10 @@ struct Node {
     void* host_dst = nullptr;
     uint64_t bytes = 0;
     uint8_t fill = 0;
+    // Upload: the immutable pool-block snapshot replay re-binds to dst.
+    // Unlike MemcpyHtoD's host_src, the recording owns the bytes (shared,
+    // refcounted), so the capture-time source may be freed immediately.
+    sim::Payload payload;
 };
 
 class LaunchGraph;
@@ -127,6 +132,22 @@ class GraphCapture {
         uint8_t value,
         uint64_t bytes,
         std::vector<NodeId> deps = {});
+
+    /// Records a zero-copy upload: replaying the node re-binds `dst` to
+    /// read as `payload` (copy-on-write; docs/MEMORY.md). The payload size
+    /// must equal the allocation size of `dst` (whole-block binding).
+    /// Capture copies zero payload bytes (`kl.mem.capture.bytes_copied`
+    /// stays 0) and replay moves zero bytes (`kl.mem.replay.bytes_copied`
+    /// stays 0) — the alternative to add_memcpy_htod, which re-streams
+    /// `bytes` from the live host pointer on every functional replay.
+    NodeId add_upload(
+        sim::DevicePtr dst,
+        sim::Payload payload,
+        std::vector<NodeId> deps = {});
+
+    /// Convenience: snapshots `dst`'s current contents from the current
+    /// context's pool (O(1)) and records an upload of that snapshot.
+    NodeId add_upload(sim::DevicePtr dst, std::vector<NodeId> deps = {});
 
     size_t node_count() const noexcept {
         return nodes_.size();

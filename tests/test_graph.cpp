@@ -917,5 +917,162 @@ TEST(GraphConcurrency, ReplayDuringClearCacheStaysCoherent) {
     }
 }
 
+// --- zero-copy uploads (docs/MEMORY.md) -------------------------------------
+
+TEST(GraphUpload, ReplayRebindsTheSnapshot) {
+    Fixture fx;
+    const int n = 64;
+    std::vector<float> original(n), clobber(n);
+    for (int i = 0; i < n; i++) {
+        original[i] = static_cast<float>(i) * 0.5f;
+        clobber[i] = -1.0f;
+    }
+    core::DeviceArray<float> a(original);
+    std::vector<float> out(n, 0.0f);
+
+    GraphCapture capture;
+    NodeId up = capture.add_upload(a.ptr());
+    capture.add_memcpy_dtoh(out.data(), a.ptr(), a.byte_size(), {up});
+    GraphExec exec = capture.finish().instantiate();
+
+    // Clobber the device block after capture: the recording owns the
+    // snapshot, so replay must restore the capture-time contents.
+    fx.context->memcpy_htod(a.ptr(), clobber.data(), a.byte_size());
+    exec.replay();
+    EXPECT_EQ(std::memcmp(out.data(), original.data(), n * sizeof(float)), 0);
+    std::vector<float> device_now = a.copy_to_host();
+    EXPECT_EQ(std::memcmp(device_now.data(), original.data(), n * sizeof(float)), 0);
+}
+
+TEST(GraphUpload, MatchesEagerVectorAddBitExact) {
+    Fixture fx;
+    core::WisdomKernel kernel(vector_add_builder(), fx.settings());
+    const int n = 777;
+    std::vector<float> ha(n), hb(n);
+    for (int i = 0; i < n; i++) {
+        ha[i] = 0.125f * static_cast<float>(i) - 3.0f;
+        hb[i] = 1.0f / static_cast<float>(i + 1);
+    }
+
+    // Eager reference on its own buffers.
+    core::DeviceArray<float> ec(n), ea(ha), eb(hb);
+    kernel.launch(ec, ea, eb, n);
+    std::vector<float> expected = ec.copy_to_host();
+
+    // Upload-node pipeline: the inputs are staged on the device once,
+    // snapshotted at capture, and re-bound on every replay.
+    core::DeviceArray<float> rc(n), ra(ha), rb(hb);
+    std::vector<float> out(n, -1.0f);
+    GraphCapture capture;
+    NodeId ua = capture.add_upload(ra.ptr());
+    NodeId ub = capture.add_upload(rb.ptr());
+    NodeId launch = capture.add_launch(kernel, {ua, ub}, rc, ra, rb, n);
+    capture.add_memcpy_dtoh(out.data(), rc.ptr(), rc.byte_size(), {launch});
+    GraphExec exec = capture.finish().instantiate();
+
+    for (int round = 0; round < 3; round++) {
+        // Poison the inputs between rounds: every replay is self-contained.
+        std::vector<float> junk(n, 1e9f);
+        fx.context->memcpy_htod(ra.ptr(), junk.data(), ra.byte_size());
+        fx.context->memcpy_htod(rb.ptr(), junk.data(), rb.byte_size());
+        exec.replay();
+        ASSERT_EQ(std::memcmp(out.data(), expected.data(), n * sizeof(float)), 0)
+            << "round " << round;
+    }
+}
+
+TEST(GraphUpload, CaptureAndReplayMoveZeroPayloadBytes) {
+    Fixture fx;
+    ScopedTrace scoped(trace::Mode::Counters);
+    // A 512^3-scale field would dominate the suite's runtime; 1 MiB has
+    // identical counter semantics (the assertion is == 0, not a ratio).
+    const uint64_t bytes = 1ull << 20;
+    std::vector<unsigned char> host(bytes, 0xCD);
+    sim::DevicePtr field = fx.context->malloc(bytes);
+    fx.context->memcpy_htod(field, host.data(), bytes);
+
+    GraphCapture capture;
+    NodeId up = capture.add_upload(field);
+    std::vector<unsigned char> out(bytes, 0);
+    capture.add_memcpy_dtoh(out.data(), field, bytes, {up});
+    EXPECT_EQ(trace::counter("kl.mem.capture.bytes_copied").value(), 0u)
+        << "capture re-streamed payload bytes";
+
+    GraphExec exec = capture.finish().instantiate();
+    exec.replay();
+    exec.replay();
+    EXPECT_EQ(trace::counter("kl.mem.capture.bytes_copied").value(), 0u);
+    EXPECT_EQ(trace::counter("kl.mem.replay.bytes_copied").value(), 0u)
+        << "upload-node replay re-streamed payload bytes";
+    EXPECT_EQ(out[0], 0xCD);
+    EXPECT_EQ(out[bytes - 1], 0xCD);
+    fx.context->free(field);
+}
+
+TEST(GraphUpload, HtodNodesReStreamOnEveryReplay) {
+    Fixture fx;
+    ScopedTrace scoped(trace::Mode::Counters);
+    const uint64_t bytes = 64 * 1024;
+    std::vector<unsigned char> host(bytes, 0x5A);
+    sim::DevicePtr field = fx.context->malloc(bytes);
+
+    GraphCapture capture;
+    capture.add_memcpy_htod(field, host.data(), bytes);
+    GraphExec exec = capture.finish().instantiate();
+    exec.replay();
+    EXPECT_EQ(trace::counter("kl.mem.replay.bytes_copied").value(), bytes);
+    exec.replay();
+    EXPECT_EQ(trace::counter("kl.mem.replay.bytes_copied").value(), 2 * bytes);
+    fx.context->free(field);
+}
+
+TEST(GraphUpload, ReplayAfterClearCacheKeepsPooledBlocks) {
+    Fixture fx;
+    core::WisdomKernel kernel(saxpy_builder(), fx.settings());
+    const int n = 256;
+    std::vector<float> hy(n, 1.0f), hx(n, 2.0f);
+    core::DeviceArray<float> y(hy), x(hx);
+    std::vector<float> out(n);
+
+    GraphCapture capture;
+    NodeId reset = capture.add_upload(y.ptr());
+    NodeId stage = capture.add_upload(x.ptr());
+    NodeId launch = capture.add_launch(kernel, {reset, stage}, y, x, 3.0f, n);
+    capture.add_memcpy_dtoh(out.data(), y.ptr(), y.byte_size(), {launch});
+    GraphExec exec = capture.finish().instantiate();
+
+    exec.replay();
+    EXPECT_EQ(out[0], 7.0f);  // 3*2 + 1
+
+    kernel.clear_cache();
+    exec.replay();
+    // The re-bake revalidated the pooled blocks and kept the payloads.
+    EXPECT_EQ(exec.instantiate_count(), 2u);
+    for (int i = 0; i < n; i++) {
+        ASSERT_EQ(out[i], 7.0f) << i;
+    }
+}
+
+TEST(GraphUpload, ReleaseAllInvalidatesBakedMemoryOperands) {
+    Fixture fx;
+    const uint64_t bytes = 4096;
+    std::vector<unsigned char> host(bytes, 0x11), out(bytes, 0);
+    sim::DevicePtr field = fx.context->malloc(bytes);
+    fx.context->memcpy_htod(field, host.data(), bytes);
+
+    GraphCapture capture;
+    NodeId up = capture.add_upload(field);
+    capture.add_memcpy_dtoh(out.data(), field, bytes, {up});
+    GraphExec exec = capture.finish().instantiate();
+    exec.replay();
+    EXPECT_EQ(out[0], 0x11);
+
+    // release_all drops every mapping and bumps the pool epoch: the next
+    // replay re-validates its baked memory operands and must fail loudly
+    // instead of touching recycled state.
+    fx.context->memory().release_all();
+    EXPECT_THROW(exec.replay(), CudaError);
+}
+
 }  // namespace
 }  // namespace kl::graph

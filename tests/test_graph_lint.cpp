@@ -235,6 +235,43 @@ TEST(NodeFootprintTest, MemoryOperations) {
     EXPECT_EQ(dd.writes[0], (ByteInterval {0x5000, 0x5020}));
 }
 
+TEST(NodeFootprintTest, UploadWritesItsDestination) {
+    graph::Node upload;
+    upload.kind = graph::NodeKind::Upload;
+    upload.dst = 0x6000;
+    upload.bytes = 0x80;
+    NodeFootprint f = node_footprint(upload);
+    EXPECT_EQ(f.label, "upload");
+    // The payload lives host-side in the recording; only the re-bound
+    // destination block is device bytes.
+    EXPECT_TRUE(f.reads.empty());
+    ASSERT_EQ(f.writes.size(), 1u);
+    EXPECT_EQ(f.writes[0], (ByteInterval {0x6000, 0x6080}));
+    EXPECT_FALSE(f.copies_out);
+}
+
+TEST(NodeFootprintTest, UnorderedUploadReaderPairIsKL006) {
+    graph::Node upload;
+    upload.kind = graph::NodeKind::Upload;
+    upload.dst = 0x6000;
+    upload.bytes = 0x80;
+    graph::Node reader;
+    reader.kind = graph::NodeKind::MemcpyDtoH;
+    reader.src = 0x6040;
+    reader.bytes = 0x10;
+
+    // No dependency edge: the write/read overlap on [0x6040, 0x6050) is a
+    // hazard, exactly as for any other memory node kind.
+    std::vector<Diagnostic> diags =
+        lint_footprints({node_footprint(upload), node_footprint(reader)});
+    EXPECT_FALSE(with_code(diags, "KL006").empty());
+
+    // The edge silences it.
+    reader.deps = {0};
+    diags = lint_footprints({node_footprint(upload), node_footprint(reader)});
+    EXPECT_TRUE(with_code(diags, "KL006").empty());
+}
+
 TEST(NodeFootprintTest, ZeroByteOperationsHaveNoFootprint) {
     graph::Node node;
     node.kind = graph::NodeKind::Memset;

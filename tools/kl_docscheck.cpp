@@ -6,11 +6,15 @@
 //   2. Anchor links (`file.md#section`, `#section`) match a heading in the
 //      target file, using GitHub's heading-slug rules.
 //   3. Every KERNEL_LAUNCHER_* environment variable referenced anywhere in
-//      src/ or tools/ is documented in at least one markdown file, and
-//      every one the docs mention exists in the sources — both directions.
+//      src/, tools/, tests/ or scripts/ is documented in at least one
+//      markdown file, and every one the docs mention exists in the
+//      sources — both directions.
 //   4. Every binary built under tools/ (each add_executable target in
 //      tools/CMakeLists.txt) is mentioned in README.md, so a new CLI
 //      cannot ship without an entry in the tools table.
+//   5. Every markdown file under docs/ is linked from README.md (by its
+//      repo-relative path), so a new document cannot ship without an
+//      entry in the README's document index.
 //
 // Usage:
 //   kl-docscheck [repo-root]          (default: current directory)
@@ -205,7 +209,7 @@ std::vector<std::string> markdown_files(const std::string& root) {
 
 std::vector<std::string> source_files(const std::string& root) {
     std::vector<std::string> files;
-    for (const char* dir : {"src", "tools"}) {
+    for (const char* dir : {"src", "tools", "tests", "scripts"}) {
         const stdfs::path base = stdfs::path(root) / dir;
         if (!stdfs::is_directory(base)) {
             continue;
@@ -215,7 +219,8 @@ std::vector<std::string> source_files(const std::string& root) {
                 continue;
             }
             const std::string ext = entry.path().extension().string();
-            if (ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cu") {
+            if (ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cu"
+                || ext == ".sh") {
                 files.push_back(entry.path().string());
             }
         }
@@ -369,6 +374,20 @@ int main(int argc, char** argv) {
                         {readme_path,
                          0,
                          "tools binary '" + tool + "' is not mentioned in the README"});
+                }
+            }
+
+            // Pass 5: every docs/*.md is reachable from the README's
+            // document index.
+            for (const std::string& doc : docs) {
+                const std::string rel =
+                    stdfs::path(doc).lexically_relative(stdfs::path(root)).generic_string();
+                if (rel.rfind("docs/", 0) != 0) {
+                    continue;  // the README itself
+                }
+                if (readme.find(rel) == std::string::npos) {
+                    findings.push_back(
+                        {readme_path, 0, "document '" + rel + "' is not linked from the README"});
                 }
             }
         }
