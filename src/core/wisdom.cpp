@@ -55,6 +55,19 @@ const char* wisdom_match_name(WisdomMatch match) noexcept {
     return "?";
 }
 
+WisdomMatch wisdom_match_from_name(const std::string& name) noexcept {
+    for (WisdomMatch match :
+         {WisdomMatch::Exact,
+          WisdomMatch::DeviceNearest,
+          WisdomMatch::ArchNearest,
+          WisdomMatch::AnyNearest}) {
+        if (name == wisdom_match_name(match)) {
+            return match;
+        }
+    }
+    return WisdomMatch::None;
+}
+
 void WisdomFile::add(WisdomRecord record, bool force) {
     for (WisdomRecord& existing : records_) {
         if (existing.device_name == record.device_name
@@ -229,6 +242,7 @@ WisdomSettings WisdomSettings::from_env() {
         settings.lint_mode_ = parse_lint_mode(*lint);
     }
     settings.cache_ = rtccache::Settings::from_env();
+    settings.net_ = netwisdom::Settings::from_env();
     return settings;
 }
 

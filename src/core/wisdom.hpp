@@ -1,11 +1,13 @@
 #pragma once
 
+#include <algorithm>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "core/config.hpp"
 #include "core/problem_size.hpp"
+#include "netwisdom/client.hpp"
 #include "rtccache/rtccache.hpp"
 #include "util/json.hpp"
 
@@ -36,6 +38,10 @@ enum class WisdomMatch {
 };
 
 const char* wisdom_match_name(WisdomMatch match) noexcept;
+
+/// Inverse of wisdom_match_name; unknown text maps to None. Used to rank
+/// match quality reported by a wisdom server against the local selection.
+WisdomMatch wisdom_match_from_name(const std::string& name) noexcept;
 
 /// The wisdom file of one kernel: an append-friendly sequence of tuning
 /// records in a human-readable JSON format. Re-tuning the same scenario
@@ -164,6 +170,25 @@ class WisdomSettings {
         cache_.limit_bytes = bytes;
         return *this;
     }
+    /// Wisdom/artifact server, "host:port" (KERNEL_LAUNCHER_WISDOM_SERVER;
+    /// empty = no network tier). Entirely optional and fail-open: an
+    /// unreachable server degrades to the local disk/compile path.
+    WisdomSettings& net_server(std::string server) {
+        net_.server = std::move(server);
+        return *this;
+    }
+    /// Per-request network I/O budget (KERNEL_LAUNCHER_NET_TIMEOUT_MS).
+    WisdomSettings& net_timeout_ms(int ms) {
+        net_.io_timeout_ms = ms;
+        net_.connect_timeout_ms = std::min(net_.connect_timeout_ms, ms);
+        return *this;
+    }
+    /// Circuit-breaker cool-down after a network failure
+    /// (KERNEL_LAUNCHER_NET_RETRY_MS).
+    WisdomSettings& net_retry_ms(int ms) {
+        net_.retry_after_ms = ms;
+        return *this;
+    }
 
     const std::string& wisdom_dir() const noexcept {
         return wisdom_dir_;
@@ -183,6 +208,9 @@ class WisdomSettings {
     const rtccache::Settings& cache_settings() const noexcept {
         return cache_;
     }
+    const netwisdom::Settings& net_settings() const noexcept {
+        return net_;
+    }
 
     /// Path of the wisdom file for a kernel: <wisdom_dir>/<kernel>.wisdom.json
     std::string wisdom_path(const std::string& kernel_name) const;
@@ -197,6 +225,7 @@ class WisdomSettings {
     bool async_compile_ = true;
     LintMode lint_mode_ = LintMode::Warn;
     rtccache::Settings cache_;
+    netwisdom::Settings net_;
 };
 
 /// Builds the provenance object recorded with each wisdom record.

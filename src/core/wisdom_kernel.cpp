@@ -25,11 +25,12 @@ double wisdom_read_seconds(const std::string& path) {
     return seconds;
 }
 
-/// Compiling and DiskHit both mean "build in flight": waiters must sleep
-/// until the instance publishes Ready or Failed.
+/// Compiling, DiskHit and NetHit all mean "build in flight": waiters must
+/// sleep until the instance publishes Ready or Failed.
 bool is_in_flight(WisdomKernel::InstanceState state) noexcept {
     return state == WisdomKernel::InstanceState::Compiling
-        || state == WisdomKernel::InstanceState::DiskHit;
+        || state == WisdomKernel::InstanceState::DiskHit
+        || state == WisdomKernel::InstanceState::NetHit;
 }
 
 }  // namespace
@@ -98,6 +99,14 @@ struct WisdomKernel::SharedState {
         stats.disk_misses++;
         bump("kl.cache.disk.miss");
     }
+    void note_net_hit() {
+        stats.net_hits++;
+        bump("kl.net.hit");
+    }
+    void note_net_miss() {
+        stats.net_misses++;
+        bump("kl.net.miss");
+    }
 
     static void bump(const char* name) {
         if (trace::counters_enabled()) {
@@ -133,6 +142,11 @@ WisdomKernel::WisdomKernel(KernelDef def, WisdomSettings settings):
     // during process teardown.
     trace::ensure_initialized();
 
+    // Resolve the shared network transport once (nullptr when no wisdom
+    // server is configured); all kernels pointed at the same server share
+    // one connection and one circuit breaker.
+    net_ = netwisdom::client_for(settings_.net_settings());
+
     // Registration-time static analysis (kl-lint). In the default Warn
     // mode findings go to stderr and registration proceeds; under
     // KERNEL_LAUNCHER_LINT=error a defective definition fails here, at
@@ -167,6 +181,7 @@ WisdomKernel::BuildOutcome WisdomKernel::build_instance(
     const KernelDef& def,
     const std::string& wisdom_path,
     const rtccache::Settings& cache_settings,
+    const std::shared_ptr<netwisdom::Client>& net,
     const sim::DeviceProperties& device,
     const ProblemSize& problem,
     double sim_start,
@@ -174,6 +189,11 @@ WisdomKernel::BuildOutcome WisdomKernel::build_instance(
     Instance& instance) {
     BuildOutcome out;
     bool disk_hit = false;
+    bool net_hit = false;
+    // Decoding a cached or served entry resolves the kernel's host impl
+    // from the registry; in a fresh process the builtins are otherwise
+    // only registered by the first *compile*, which a warm start skips.
+    rtc::register_builtin_kernels();
     try {
         // 1. Read the wisdom file and select a configuration (§4.5).
         out.cost.wisdom_seconds = wisdom_read_seconds(wisdom_path);
@@ -184,6 +204,29 @@ WisdomKernel::BuildOutcome WisdomKernel::build_instance(
         out.config = selection.record != nullptr ? selection.record->config
                                                  : def.space.default_config();
 
+        // 1b. Network wisdom tier: when a server is configured and the
+        // local file did not match exactly, ask the fleet aggregate for a
+        // better answer. The server runs the same §4.5 heuristic over
+        // every uploaded tuning session, so its match rank is directly
+        // comparable; local wins ties. One modeled round trip is charged;
+        // a transport failure silently keeps the local selection.
+        if (net != nullptr && out.match != WisdomMatch::Exact) {
+            out.cost.net_seconds += netwisdom::net_read_seconds(0);
+            std::optional<netwisdom::WisdomAnswer> answer = net->wisdom_get(
+                def.key(), device.name, device.architecture, problem.to_json());
+            if (answer.has_value()) {
+                try {
+                    const WisdomMatch remote = wisdom_match_from_name(answer->match);
+                    if (remote < out.match) {
+                        out.config = Config::from_json(answer->config);
+                        out.match = remote;
+                    }
+                } catch (const Error&) {
+                    // Malformed remote config: keep the local selection.
+                }
+            }
+        }
+
         // 2. Lower the compile request and probe the persistent cache: the
         // content hash of the lowered request (source + options +
         // instantiation + arch) names the on-disk entry, see docs/CACHING.md.
@@ -191,14 +234,17 @@ WisdomKernel::BuildOutcome WisdomKernel::build_instance(
             KernelCompiler::lower(def, out.config, device, &problem);
         rtccache::DiskCache cache(cache_settings);
         rtccache::CacheKey cache_key;
-        std::optional<rtccache::CachedResult> hit;
-        if (cache.readable()) {
+        const bool keyed = cache.readable() || net != nullptr;
+        if (keyed) {
             cache_key = rtccache::CacheKey {
                 def.name,
                 device.architecture,
                 lowered.source,
                 lowered.options,
                 lowered.name_expression};
+        }
+        std::optional<rtccache::CachedResult> hit;
+        if (cache.readable()) {
             hit = cache.load(cache_key);
             std::lock_guard<std::mutex> lock(state.mutex);
             if (hit.has_value()) {
@@ -211,19 +257,57 @@ WisdomKernel::BuildOutcome WisdomKernel::build_instance(
             }
         }
 
+        // 2b. Network artifact tier: on a local miss, ask the server for
+        // the compiled entry by content hash. A served entry is decoded by
+        // the same codec as a disk entry (corrupt bytes count as a miss,
+        // never an error), charged at the modeled transfer cost, and
+        // written through to the local disk cache for the next process.
+        if (!hit.has_value() && net != nullptr) {
+            std::optional<std::string> entry_text = net->artifact_get(cache_key.id());
+            if (entry_text.has_value()) {
+                rtccache::CachedResult fetched;
+                if (rtccache::decode_entry(*entry_text, cache_key, fetched)
+                    == rtccache::EntryDecode::Ok) {
+                    out.cost.net_seconds += netwisdom::net_read_seconds(entry_text->size());
+                    hit = std::move(fetched);
+                    cache.store_text(cache_key, *entry_text);
+                }
+            }
+            std::lock_guard<std::mutex> lock(state.mutex);
+            if (hit.has_value()) {
+                net_hit = true;
+                state.note_net_hit();
+                if (is_in_flight(instance.state)) {
+                    instance.state = InstanceState::NetHit;
+                }
+            } else {
+                state.note_net_miss();
+            }
+        }
+
         // 3. On a hit, reconstruct the image from the entry and charge the
         // modeled entry-read cost; on a miss, run the (simulated) NVRTC and
-        // persist the result when the cache is writable.
+        // persist the result when the cache is writable — and push it to
+        // the server so the rest of the fleet never compiles it again.
         sim::KernelImage image;
         if (hit.has_value()) {
-            disk_hit = true;
-            out.cost.cache_seconds = rtccache::disk_read_seconds(hit->entry_bytes);
+            disk_hit = !net_hit;
+            if (disk_hit) {
+                out.cost.cache_seconds = rtccache::disk_read_seconds(hit->entry_bytes);
+            }
             image = std::move(hit->image);
         } else {
             KernelCompiler::Output compiled = KernelCompiler::compile_lowered(def, lowered);
             out.cost.compile_seconds = compiled.compile_seconds;
             if (cache.writable()) {
                 cache.store(cache_key, compiled.image, compiled.log, compiled.compile_seconds);
+            }
+            if (net != nullptr) {
+                const std::string entry_text = rtccache::encode_entry(
+                    cache_key, compiled.image, compiled.log, compiled.compile_seconds);
+                if (net->artifact_put(cache_key.id(), entry_text)) {
+                    SharedState::bump("kl.net.artifact.push");
+                }
             }
             image = std::move(compiled.image);
         }
@@ -269,6 +353,17 @@ WisdomKernel::BuildOutcome WisdomKernel::build_instance(
                     out.cost.cache_seconds,
                     std::move(compile_args));
                 t += out.cost.cache_seconds;
+            } else if (net_hit) {
+                // Same shape for the network tier: net.fetch stands where
+                // nvrtc.compile would be (docs/DISTRIBUTED.md).
+                trace::emit_complete(
+                    trace::Domain::Sim,
+                    "net",
+                    "net.fetch",
+                    t,
+                    out.cost.net_seconds,
+                    std::move(compile_args));
+                t += out.cost.net_seconds;
             } else {
                 trace::emit_complete(
                     trace::Domain::Sim,
@@ -340,6 +435,7 @@ void WisdomKernel::compile_ahead(const ProblemSize& problem) {
             def_,
             wisdom_path,
             settings_.cache_settings(),
+            net_,
             context.device(),
             problem,
             context.clock().now(),
@@ -348,6 +444,7 @@ void WisdomKernel::compile_ahead(const ProblemSize& problem) {
         context.clock().advance(outcome.cost.wisdom_seconds);
         if (outcome.error == nullptr) {
             context.clock().advance(outcome.cost.cache_seconds);
+            context.clock().advance(outcome.cost.net_seconds);
             context.clock().advance(outcome.cost.compile_seconds);
             context.clock().advance(outcome.cost.module_load_seconds);
         }
@@ -373,6 +470,7 @@ void WisdomKernel::compile_ahead(const ProblemSize& problem) {
          def = def_,
          wisdom_path,
          cache_settings = settings_.cache_settings(),
+         net = net_,
          device = context.device(),
          problem,
          submit_time,
@@ -392,11 +490,11 @@ void WisdomKernel::compile_ahead(const ProblemSize& problem) {
                     {{"kernel", def.name}});
             }
             BuildOutcome outcome = build_instance(
-                def, wisdom_path, cache_settings, device, problem, submit_time,
+                def, wisdom_path, cache_settings, net, device, problem, submit_time,
                 *state, *instance);
             const double ready_time = submit_time + outcome.cost.wisdom_seconds
-                + outcome.cost.cache_seconds + outcome.cost.compile_seconds
-                + outcome.cost.module_load_seconds;
+                + outcome.cost.cache_seconds + outcome.cost.net_seconds
+                + outcome.cost.compile_seconds + outcome.cost.module_load_seconds;
             publish(*state, *instance, std::move(outcome), ready_time);
         });
 }
@@ -549,6 +647,7 @@ WisdomKernel::BakedLaunch WisdomKernel::bake_launch(const std::vector<KernelArg>
             def_,
             settings_.wisdom_path(def_.key()),
             settings_.cache_settings(),
+            net_,
             context.device(),
             problem,
             context.clock().now(),
@@ -558,6 +657,7 @@ WisdomKernel::BakedLaunch WisdomKernel::bake_launch(const std::vector<KernelArg>
         std::exception_ptr error = outcome.error;
         if (error == nullptr) {
             context.clock().advance(outcome.cost.cache_seconds);
+            context.clock().advance(outcome.cost.net_seconds);
             context.clock().advance(outcome.cost.compile_seconds);
             context.clock().advance(outcome.cost.module_load_seconds);
         }
@@ -654,6 +754,7 @@ void WisdomKernel::launch_args(const std::vector<KernelArg>& args, sim::Stream* 
             def_,
             settings_.wisdom_path(def_.key()),
             settings_.cache_settings(),
+            net_,
             context.device(),
             problem,
             context.clock().now(),
@@ -664,9 +765,11 @@ void WisdomKernel::launch_args(const std::vector<KernelArg>& args, sim::Stream* 
         std::exception_ptr error = outcome.error;
         if (error == nullptr) {
             context.clock().advance(outcome.cost.cache_seconds);
+            context.clock().advance(outcome.cost.net_seconds);
             context.clock().advance(outcome.cost.compile_seconds);
             context.clock().advance(outcome.cost.module_load_seconds);
             overhead.cache_seconds = outcome.cost.cache_seconds;
+            overhead.net_seconds = outcome.cost.net_seconds;
             overhead.compile_seconds = outcome.cost.compile_seconds;
             overhead.module_load_seconds = outcome.cost.module_load_seconds;
         }

@@ -21,14 +21,15 @@ namespace kl::core {
 struct OverheadBreakdown {
     double wisdom_seconds = 0;       ///< reading + matching the wisdom file
     double cache_seconds = 0;        ///< reading a persistent compile-cache entry
-    double compile_seconds = 0;      ///< nvrtcCompileProgram (zero on a disk hit)
+    double net_seconds = 0;          ///< wisdom-server round trips + artifact fetch
+    double compile_seconds = 0;      ///< nvrtcCompileProgram (zero on a disk/net hit)
     double module_load_seconds = 0;  ///< cuModuleLoad
     double wait_seconds = 0;         ///< blocked on an in-flight background compile
     double launch_seconds = 0;       ///< cuLaunchKernel (host-side)
 
     double total() const noexcept {
-        return wisdom_seconds + cache_seconds + compile_seconds + module_load_seconds
-            + wait_seconds + launch_seconds;
+        return wisdom_seconds + cache_seconds + net_seconds + compile_seconds
+            + module_load_seconds + wait_seconds + launch_seconds;
     }
 };
 
@@ -43,8 +44,8 @@ struct OverheadBreakdown {
 ///
 /// Each instance moves through a small state machine:
 ///
-///     Uncompiled --(launch)--------> DiskHit | Compiling --> Ready | Failed
-///     Uncompiled --(compile_ahead)-> DiskHit | Compiling --> Ready | Failed
+///     Uncompiled --(launch)--------> DiskHit | NetHit | Compiling --> Ready | Failed
+///     Uncompiled --(compile_ahead)-> DiskHit | NetHit | Compiling --> Ready | Failed
 ///
 /// A build first probes the persistent compile cache (src/rtccache/,
 /// enabled with KERNEL_LAUNCHER_CACHE=read|readwrite). On a hit the
@@ -54,6 +55,18 @@ struct OverheadBreakdown {
 /// (OverheadBreakdown::cache_seconds). On a miss the compile proceeds as
 /// before and — under readwrite — its result is persisted for the next
 /// process.
+///
+/// With KERNEL_LAUNCHER_WISDOM_SERVER set, a network tier sits between the
+/// disk probe and the compile (memory -> disk -> network -> compile, see
+/// docs/DISTRIBUTED.md): the server is asked for a better-matching tuned
+/// configuration, and on a local disk miss for the compiled artifact
+/// itself. A served artifact passes the instance through NetHit, charges
+/// the modeled transfer cost (OverheadBreakdown::net_seconds), is written
+/// through to the local disk cache when writable, and skips nvrtc exactly
+/// like a disk hit; a freshly compiled instance is pushed back so the next
+/// node in the fleet never compiles it again. The tier is fail-open: any
+/// timeout or refused connection degrades to the local path and can never
+/// fail a launch.
 ///
 /// A synchronous launch compiles in the calling thread and pays the full
 /// Figure 5 first-launch cost. compile_ahead() starts the build on the
@@ -76,6 +89,7 @@ class WisdomKernel {
         Uncompiled,  ///< never requested
         Compiling,   ///< build in flight (background or another thread)
         DiskHit,     ///< build in flight, satisfied from the persistent cache
+        NetHit,      ///< build in flight, satisfied from the wisdom server
         Ready,       ///< module loaded; launches are warm
         Failed,      ///< compile error, rethrown on launch
     };
@@ -95,6 +109,12 @@ class WisdomKernel {
         /// readable (KERNEL_LAUNCHER_CACHE=read|readwrite).
         uint64_t disk_hits = 0;
         uint64_t disk_misses = 0;
+        /// Network-tier outcomes; counted only when a wisdom server is
+        /// configured (KERNEL_LAUNCHER_WISDOM_SERVER) and the local disk
+        /// probe missed. A transport failure counts as a miss — the
+        /// network tier is fail-open (docs/DISTRIBUTED.md).
+        uint64_t net_hits = 0;
+        uint64_t net_misses = 0;
     };
 
     WisdomKernel(KernelDef def, WisdomSettings settings = WisdomSettings::from_env());
@@ -220,6 +240,7 @@ class WisdomKernel {
         const KernelDef& def,
         const std::string& wisdom_path,
         const rtccache::Settings& cache_settings,
+        const std::shared_ptr<netwisdom::Client>& net,
         const sim::DeviceProperties& device,
         const ProblemSize& problem,
         double sim_start,
@@ -234,6 +255,10 @@ class WisdomKernel {
 
     KernelDef def_;
     WisdomSettings settings_;
+    /// Shared per-server transport (nullptr when no server is configured);
+    /// resolved once at registration so every launch reuses one connection
+    /// and one circuit breaker.
+    std::shared_ptr<netwisdom::Client> net_;
 
     /// Everything mutable lives behind one shared, mutex-guarded state
     /// block. Background compile jobs keep it (not the kernel) alive, so

@@ -1,0 +1,146 @@
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netwisdom/socket.hpp"
+#include "util/json.hpp"
+
+namespace kl::netwisdom {
+
+/// Client-side knobs, normally filled from the environment:
+///
+///   KERNEL_LAUNCHER_WISDOM_SERVER   host:port of kl-wisdomd ("" = disabled)
+///   KERNEL_LAUNCHER_NET_TIMEOUT_MS  per-request I/O budget (default 500)
+///   KERNEL_LAUNCHER_NET_RETRY_MS    circuit-breaker cool-down after a
+///                                   failure (default 3000)
+struct Settings {
+    std::string server;
+    int connect_timeout_ms = 200;
+    int io_timeout_ms = 500;
+    int retry_after_ms = 3000;
+
+    bool enabled() const noexcept {
+        return !server.empty();
+    }
+
+    /// Reads the three env vars. Throws kl::Error only on a malformed
+    /// server string (a typo should be loud, an absent server silent).
+    static Settings from_env();
+};
+
+/// A best-config answer from the daemon. `config` and `provenance` are the
+/// raw JSON shapes defined in docs/DISTRIBUTED.md; the caller (core) turns
+/// them into typed values so this library never depends on core.
+struct WisdomAnswer {
+    json::Value config;
+    std::string match;
+    double time_seconds = 0;
+    json::Value provenance;
+};
+
+/// Transport-level counters for one client, mirrored into the `kl.net.*`
+/// trace counters as they change.
+struct ClientStats {
+    uint64_t connects = 0;
+    uint64_t requests = 0;
+    uint64_t errors = 0;
+    uint64_t timeouts = 0;
+    uint64_t breaker_skips = 0;
+};
+
+/// Modeled wall-clock cost of pulling `bytes` over a warm loopback/LAN
+/// connection: ~1.5 ms round trip plus ~250 MB/s of streaming. Slower than
+/// the local disk model (rtccache::disk_read_seconds) and far cheaper than
+/// an NVRTC compile, which is exactly the tier ordering the paper's
+/// "tune once, run everywhere" pitch needs.
+double net_read_seconds(uint64_t bytes) noexcept;
+
+/// Fail-open wire client for kl-wisdomd. Every public call catches every
+/// transport error internally and degrades to "not found" / "not sent":
+/// a missing or sick daemon can cost a timeout, never a failed launch.
+/// After a failure the breaker skips the server for retry_after_ms, so a
+/// down daemon costs one connect timeout per cool-down window, not one
+/// per launch.
+///
+/// Thread-safe: one persistent connection guarded by a mutex; concurrent
+/// callers serialize per request (frames are small, requests are rare).
+class Client {
+  public:
+    explicit Client(Settings settings);
+
+    const Settings& settings() const noexcept {
+        return settings_;
+    }
+
+    /// True when a server is configured at all.
+    bool enabled() const noexcept {
+        return settings_.enabled();
+    }
+
+    /// Round-trips a Ping. The one call tests use to await daemon startup.
+    bool ping();
+
+    /// Best config for (kernel, device, problem). nullopt on miss or any
+    /// transport failure.
+    std::optional<WisdomAnswer> wisdom_get(
+        const std::string& kernel_name,
+        const std::string& device_name,
+        const std::string& device_arch,
+        const json::Value& problem);
+
+    /// Uploads one tuning record (wisdom-file record JSON). Returns whether
+    /// the server accepted it; false also covers transport failure.
+    bool wisdom_put(const std::string& kernel_name, const json::Value& record);
+
+    /// Fetches a compiled-instance entry by rtccache id ("klc-<16hex>").
+    /// Returns the full entry text, ready for DiskCache-style decoding.
+    std::optional<std::string> artifact_get(const std::string& id);
+
+    /// Uploads one compiled-instance entry.
+    bool artifact_put(const std::string& id, const std::string& entry_text);
+
+    /// Ids of every artifact the server holds (kl-cache pull --remote).
+    std::optional<std::vector<std::string>> artifact_list();
+
+    /// Server-side counters/store sizes (kl-cache stats --remote).
+    std::optional<json::Value> server_stats();
+
+    ClientStats stats() const;
+
+    /// Drops the persistent connection and re-arms the breaker; tests use
+    /// this to simulate a fresh process against the same daemon.
+    void reset();
+
+  private:
+    /// One request/response exchange, reconnecting once if the persistent
+    /// connection had gone stale. Throws on failure; `request` wraps it
+    /// with the breaker and the catch-all.
+    Frame exchange_or_throw(MsgType type, const json::Value& payload);
+
+    /// Fail-open wrapper: breaker check, exchange, error accounting.
+    /// Returns nullopt instead of throwing.
+    std::optional<Frame> request(MsgType type, const json::Value& payload, MsgType expected_reply);
+
+    void note_failure(bool timed_out);
+
+    Settings settings_;
+    std::string host_;
+    uint16_t port_ = 0;
+    bool address_ok_ = false;
+
+    mutable std::mutex mutex_;
+    Socket conn_;
+    double skip_until_ = 0;  ///< monotonic deadline while the breaker is open
+    ClientStats stats_;
+};
+
+/// Process-wide client registry, one shared client per server string, so
+/// every WisdomKernel in a process shares a connection and one breaker.
+/// Returns nullptr when settings.enabled() is false.
+std::shared_ptr<Client> client_for(const Settings& settings);
+
+}  // namespace kl::netwisdom

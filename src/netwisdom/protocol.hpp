@@ -1,0 +1,106 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "util/json.hpp"
+
+namespace kl::netwisdom {
+
+/// Version of the wire protocol spoken by kl-wisdomd and the in-library
+/// client. A peer announcing any other version is answered with one Error
+/// frame and disconnected; the client treats that as a miss (fail-open),
+/// never as a failed launch. Bump on any incompatible frame or payload
+/// change (docs/DISTRIBUTED.md#versioning).
+inline constexpr uint8_t kProtocolVersion = 1;
+
+/// First four bytes of every frame. Rejecting foreign bytes early is what
+/// keeps a port scanner or a mistargeted HTTP client from tying up a
+/// session thread.
+inline constexpr char kMagic[4] = {'K', 'L', 'W', 'P'};
+
+/// Upper bound on one frame's payload. Larger length fields are treated as
+/// garbage (the connection is dropped), so a corrupt length can never make
+/// a peer try to allocate gigabytes.
+inline constexpr uint32_t kMaxPayloadBytes = 64u << 20;
+
+/// Fixed 12-byte frame header; payload (JSON, UTF-8) follows immediately.
+///
+///   offset  size  field
+///   0       4     magic "KLWP"
+///   4       1     protocol version (kProtocolVersion)
+///   5       1     message type (MsgType)
+///   6       2     reserved, must be 0
+///   8       4     payload byte count, little-endian
+inline constexpr size_t kHeaderBytes = 12;
+
+/// Message types. Requests are < 0x80; every reply is request | 0x80.
+/// Error (0xFF) may answer any request.
+enum class MsgType : uint8_t {
+    Ping = 0x01,          ///< {} — liveness probe
+    WisdomGet = 0x02,     ///< {kernel, device_name, device_arch, problem}
+    WisdomPut = 0x03,     ///< {kernel, record} — one tuning result
+    ArtifactGet = 0x04,   ///< {id} — "klc-<16hex>" rtccache entry id
+    ArtifactPut = 0x05,   ///< {id, entry} — entry is the full entry text
+    Stats = 0x06,         ///< {} — server counters and store sizes
+    ArtifactList = 0x07,  ///< {} — ids of every artifact held
+
+    Pong = 0x81,           ///< {version}
+    WisdomReply = 0x82,    ///< {found, config?, match?, time_ms?, provenance?}
+    WisdomPutReply = 0x83, ///< {accepted, reason?}
+    ArtifactReply = 0x84,  ///< {found, entry?}
+    ArtifactPutReply = 0x85,  ///< {accepted, reason?}
+    StatsReply = 0x86,     ///< {artifacts, kernels, records, requests, ...}
+    ArtifactListReply = 0x87,  ///< {ids: [...]}
+
+    Error = 0xFF,  ///< {code, message}; code "version" forces disconnect
+};
+
+const char* msg_type_name(MsgType type) noexcept;
+
+/// One decoded frame.
+struct Frame {
+    MsgType type = MsgType::Error;
+    json::Value payload;
+};
+
+/// Serializes a frame: header + compact JSON payload.
+std::string encode_frame(MsgType type, const json::Value& payload);
+
+/// Outcome of decoding a header. Anything but Ok means the byte stream is
+/// not (or no longer) speaking this protocol; the connection must be
+/// dropped — there is no way to resynchronize a length-framed stream.
+enum class DecodeStatus {
+    Ok,
+    BadMagic,        ///< first four bytes are not "KLWP"
+    BadVersion,      ///< version byte != kProtocolVersion
+    BadReserved,     ///< reserved bytes are not zero
+    PayloadTooLarge, ///< length field exceeds kMaxPayloadBytes
+};
+
+const char* decode_status_name(DecodeStatus status) noexcept;
+
+/// Parsed header fields.
+struct Header {
+    uint8_t version = 0;
+    MsgType type = MsgType::Error;
+    uint32_t payload_bytes = 0;
+};
+
+/// Validates and unpacks the fixed header (`data` must hold kHeaderBytes).
+DecodeStatus decode_header(const void* data, Header& out);
+
+/// Parses a payload as JSON. Throws kl::Error with context on malformed
+/// bytes (a truncated or garbage payload after a valid header).
+json::Value decode_payload(const std::string& bytes);
+
+/// Splits "host:port". Throws kl::Error on malformed input or a port
+/// outside [1, 65535].
+struct HostPort {
+    std::string host;
+    uint16_t port = 0;
+};
+HostPort parse_host_port(const std::string& text);
+
+}  // namespace kl::netwisdom

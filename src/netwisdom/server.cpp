@@ -1,0 +1,534 @@
+#include "netwisdom/server.hpp"
+
+#include <cstdio>
+
+#include "rtccache/rtccache.hpp"
+#include "util/errors.hpp"
+#include "util/fs.hpp"
+#include "util/strings.hpp"
+
+namespace kl::netwisdom {
+
+namespace {
+
+constexpr double kPollSeconds = 0.2;   ///< shutdown-flag granularity
+constexpr double kIoSeconds = 5.0;     ///< per-frame budget once bytes flow
+constexpr size_t kMaxSupersedes = 8;   ///< provenance history kept per record
+
+std::string provenance_date(const json::Value& provenance) {
+    if (!provenance.is_object()) {
+        return "";
+    }
+    return provenance.get_string_or("date", "");
+}
+
+/// Compact summary of a superseded record's provenance for the history
+/// list: enough to audit where a config came from, small enough to cap.
+json::Value supersedes_summary(const core::WisdomRecord& record) {
+    json::Value out = json::Value::object();
+    out["date"] = provenance_date(record.provenance);
+    if (record.provenance.is_object()) {
+        out["hostname"] = record.provenance.get_string_or("hostname", "");
+    }
+    out["time_ms"] = record.time_seconds * 1e3;
+    return out;
+}
+
+bool is_wisdom_file(const std::string& path) {
+    return ends_with(path_filename(path), ".wisdom.json");
+}
+
+bool is_artifact_file(const std::string& path) {
+    const std::string name = path_filename(path);
+    return starts_with(name, "klc-") && ends_with(name, ".json");
+}
+
+}  // namespace
+
+// ---- WisdomStore ----
+
+WisdomStore::WisdomStore(std::string dir): dir_(std::move(dir)) {
+    if (dir_.empty()) {
+        return;
+    }
+    create_directories(dir_);
+    for (const std::string& path : list_directory(dir_)) {
+        if (!is_wisdom_file(path)) {
+            continue;
+        }
+        const std::string name = path_filename(path);
+        const std::string kernel = name.substr(0, name.size() - 12);  // ".wisdom.json"
+        try {
+            core::WisdomFile file = core::WisdomFile::load(path, kernel);
+            kernels_[kernel] = file.records();
+        } catch (const Error&) {
+            // A damaged file on disk must not keep the daemon from serving
+            // the rest; it will be overwritten by the next accepted put.
+        }
+    }
+}
+
+WisdomStore::PutResult WisdomStore::put(
+    const std::string& kernel_name,
+    const json::Value& record_json) {
+    core::WisdomRecord record;
+    try {
+        record = core::WisdomRecord::from_json(record_json);
+    } catch (const Error& e) {
+        return {false, std::string("malformed record: ") + e.what()};
+    }
+    if (kernel_name.empty()) {
+        return {false, "missing kernel name"};
+    }
+    if (!record.provenance.is_object()) {
+        record.provenance = json::Value::object();
+    }
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<core::WisdomRecord>& records = kernels_[kernel_name];
+    for (core::WisdomRecord& existing : records) {
+        if (existing.device_name != record.device_name
+            || existing.problem_size != record.problem_size) {
+            continue;
+        }
+        const std::string old_date = provenance_date(existing.provenance);
+        const std::string new_date = provenance_date(record.provenance);
+        if (new_date < old_date) {
+            return {
+                false,
+                "stale: an upload dated " + old_date + " already covers this scenario"};
+        }
+        if (new_date == old_date && record.time_seconds > existing.time_seconds) {
+            return {false, "tied date: the existing result is faster"};
+        }
+        // Newest wins (or same-date improvement / idempotent re-put).
+        // Carry the loser's provenance along, capped.
+        json::Value history = json::Value::array();
+        if (const json::Value* old_history = existing.provenance.is_object()
+                ? existing.provenance.find("supersedes")
+                : nullptr) {
+            if (old_history->is_array()) {
+                history = *old_history;
+            }
+        }
+        history.push_back(supersedes_summary(existing));
+        while (history.size() > kMaxSupersedes) {
+            history.as_array().erase(history.as_array().begin());
+        }
+        record.provenance["supersedes"] = std::move(history);
+        existing = std::move(record);
+        save_locked(kernel_name);
+        return {true, ""};
+    }
+    records.push_back(std::move(record));
+    save_locked(kernel_name);
+    return {true, ""};
+}
+
+void WisdomStore::save_locked(const std::string& kernel_name) {
+    if (dir_.empty()) {
+        return;
+    }
+    try {
+        core::WisdomFile file(kernel_name);
+        for (const core::WisdomRecord& record : kernels_[kernel_name]) {
+            file.add(record, /*force=*/true);
+        }
+        file.save(path_join(dir_, kernel_name + ".wisdom.json"));
+    } catch (const Error&) {
+        // Best-effort persistence; the in-memory aggregate keeps serving.
+    }
+}
+
+json::Value WisdomStore::get(
+    const std::string& kernel_name,
+    const std::string& device_name,
+    const std::string& device_arch,
+    const json::Value& problem_json) const {
+    json::Value reply = json::Value::object();
+    reply["found"] = false;
+
+    core::ProblemSize problem;
+    try {
+        problem = core::ProblemSize::from_json(problem_json);
+    } catch (const Error&) {
+        return reply;
+    }
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = kernels_.find(kernel_name);
+    if (it == kernels_.end() || it->second.empty()) {
+        return reply;
+    }
+    // Reuse the exact §4.5 heuristic a local wisdom file would apply.
+    core::WisdomFile file(kernel_name);
+    for (const core::WisdomRecord& record : it->second) {
+        file.add(record, /*force=*/true);
+    }
+    const core::WisdomFile::Selection selection
+        = file.select(device_name, device_arch, problem);
+    if (selection.record == nullptr) {
+        return reply;
+    }
+    reply["found"] = true;
+    reply["config"] = selection.record->config.to_json();
+    reply["match"] = core::wisdom_match_name(selection.match);
+    reply["time_ms"] = selection.record->time_seconds * 1e3;
+    reply["provenance"] = selection.record->provenance;
+    return reply;
+}
+
+size_t WisdomStore::kernel_count() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return kernels_.size();
+}
+
+size_t WisdomStore::record_count() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    size_t count = 0;
+    for (const auto& [kernel, records] : kernels_) {
+        count += records.size();
+    }
+    return count;
+}
+
+// ---- ArtifactStore ----
+
+ArtifactStore::ArtifactStore(std::string dir): dir_(std::move(dir)) {
+    if (dir_.empty()) {
+        return;
+    }
+    create_directories(dir_);
+    for (const std::string& path : list_directory(dir_)) {
+        if (!is_artifact_file(path)) {
+            continue;
+        }
+        try {
+            std::string text = read_text_file(path);
+            const rtccache::EntryCheck check = rtccache::validate_entry_text(text);
+            const std::string name = path_filename(path);
+            const std::string id = name.substr(0, name.size() - 5);  // ".json"
+            if (check.valid && check.id == id) {
+                entries_[id] = std::move(text);
+            }
+        } catch (const Error&) {
+            // Unreadable seed entries are simply not served.
+        }
+    }
+}
+
+ArtifactStore::PutResult ArtifactStore::put(
+    const std::string& id,
+    const std::string& entry_text) {
+    const rtccache::EntryCheck check = rtccache::validate_entry_text(entry_text);
+    if (!check.valid) {
+        return {false, "invalid entry: " + check.error};
+    }
+    if (check.id != id) {
+        return {false, "entry id '" + check.id + "' does not match requested id '" + id + "'"};
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_[id] = entry_text;
+    if (!dir_.empty()) {
+        try {
+            const std::string tmp = path_join(dir_, ".tmp-" + id);
+            write_text_file(tmp, entry_text);
+            rename_file(tmp, path_join(dir_, id + ".json"));
+        } catch (const Error&) {
+            // Best-effort persistence.
+        }
+    }
+    return {true, ""};
+}
+
+std::optional<std::string> ArtifactStore::get(const std::string& id) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(id);
+    if (it == entries_.end()) {
+        return std::nullopt;
+    }
+    return it->second;
+}
+
+std::vector<std::string> ArtifactStore::ids() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const auto& [id, text] : entries_) {
+        out.push_back(id);
+    }
+    return out;
+}
+
+size_t ArtifactStore::count() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+uint64_t ArtifactStore::bytes() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    uint64_t total = 0;
+    for (const auto& [id, text] : entries_) {
+        total += text.size();
+    }
+    return total;
+}
+
+// ---- Server ----
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)),
+      wisdom_(options_.wisdom_dir),
+      artifacts_(options_.artifact_dir) {}
+
+Server::~Server() {
+    stop();
+}
+
+void Server::start() {
+    if (running_.load()) {
+        return;
+    }
+    listener_ = Socket::listen(options_.bind_address, options_.port);
+    port_ = listener_.bound_port();
+    running_.store(true);
+    accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void Server::stop() {
+    if (!running_.exchange(false)) {
+        return;
+    }
+    if (accept_thread_.joinable()) {
+        accept_thread_.join();
+    }
+    listener_.close();
+    std::vector<SessionSlot> sessions;
+    {
+        std::lock_guard<std::mutex> lock(sessions_mutex_);
+        sessions.swap(sessions_);
+    }
+    for (SessionSlot& slot : sessions) {
+        if (slot.thread.joinable()) {
+            slot.thread.join();
+        }
+    }
+}
+
+void Server::reap_finished_sessions() {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    for (size_t i = 0; i < sessions_.size();) {
+        if (sessions_[i].done->load(std::memory_order_acquire)) {
+            if (sessions_[i].thread.joinable()) {
+                sessions_[i].thread.join();
+            }
+            sessions_.erase(sessions_.begin() + i);
+        } else {
+            ++i;
+        }
+    }
+}
+
+void Server::accept_loop() {
+    while (running_.load(std::memory_order_relaxed)) {
+        std::optional<Socket> conn;
+        try {
+            conn = listener_.accept(kPollSeconds);
+        } catch (const Error&) {
+            if (!running_.load(std::memory_order_relaxed)) {
+                break;
+            }
+            continue;
+        }
+        if (!conn) {
+            continue;
+        }
+        {
+            std::lock_guard<std::mutex> lock(counters_mutex_);
+            connections_ += 1;
+        }
+        reap_finished_sessions();
+        auto done = std::make_shared<std::atomic<bool>>(false);
+        auto shared_conn = std::make_shared<Socket>(std::move(*conn));
+        std::thread thread([this, shared_conn, done] {
+            session(std::move(*shared_conn));
+            done->store(true, std::memory_order_release);
+        });
+        std::lock_guard<std::mutex> lock(sessions_mutex_);
+        sessions_.push_back({std::move(thread), std::move(done)});
+    }
+}
+
+void Server::session(Socket conn) {
+    while (running_.load(std::memory_order_relaxed)) {
+        // The header is read "by hand" (not recv_frame) so a
+        // version-mismatched peer can be answered with a proper Error
+        // frame before the disconnect, instead of being silently dropped.
+        unsigned char header_bytes[kHeaderBytes];
+        try {
+            conn.recv_exact(header_bytes, sizeof header_bytes, kPollSeconds);
+        } catch (const Socket::TimeoutError&) {
+            continue;  // idle connection; re-check the running flag
+        } catch (const Socket::ClosedError&) {
+            return;  // client done
+        } catch (const Error&) {
+            return;  // reset mid-header
+        }
+
+        Header header;
+        const DecodeStatus status = decode_header(header_bytes, header);
+        if (status != DecodeStatus::Ok) {
+            {
+                std::lock_guard<std::mutex> lock(counters_mutex_);
+                protocol_errors_ += 1;
+            }
+            if (status == DecodeStatus::BadVersion) {
+                json::Value error = json::Value::object();
+                error["code"] = "version";
+                error["message"] = "this daemon speaks protocol version "
+                    + std::to_string(static_cast<int>(kProtocolVersion)) + ", peer sent "
+                    + std::to_string(static_cast<int>(header.version));
+                try {
+                    conn.send_frame(MsgType::Error, error, kIoSeconds);
+                } catch (const Error&) {
+                }
+            }
+            // Bad magic / oversized length / reserved bytes: the stream is
+            // garbage and cannot be resynchronized. Drop it.
+            return;
+        }
+
+        json::Value payload;
+        try {
+            std::string body(header.payload_bytes, '\0');
+            if (header.payload_bytes > 0) {
+                conn.recv_exact(body.data(), body.size(), kIoSeconds);
+            }
+            payload = decode_payload(body);
+        } catch (const Error&) {
+            std::lock_guard<std::mutex> lock(counters_mutex_);
+            protocol_errors_ += 1;
+            return;  // truncated or non-JSON payload
+        }
+
+        MsgType reply_type = MsgType::Error;
+        json::Value reply;
+        try {
+            reply = handle(header.type, payload, reply_type);
+        } catch (const Error& e) {
+            std::lock_guard<std::mutex> lock(counters_mutex_);
+            protocol_errors_ += 1;
+            json::Value error = json::Value::object();
+            error["code"] = "bad-request";
+            error["message"] = e.what();
+            try {
+                conn.send_frame(MsgType::Error, error, kIoSeconds);
+            } catch (const Error&) {
+            }
+            return;
+        }
+        if (options_.verbose) {
+            std::fprintf(
+                stderr, "[kl-wisdomd] %s -> %s\n", msg_type_name(header.type),
+                msg_type_name(reply_type));
+        }
+        try {
+            conn.send_frame(reply_type, reply, kIoSeconds);
+        } catch (const Error&) {
+            return;  // client went away mid-reply
+        }
+    }
+}
+
+json::Value Server::handle(MsgType type, const json::Value& payload, MsgType& reply_type) {
+    {
+        std::lock_guard<std::mutex> lock(counters_mutex_);
+        request_counts_[msg_type_name(type)] += 1;
+    }
+    json::Value reply = json::Value::object();
+    switch (type) {
+        case MsgType::Ping: {
+            reply_type = MsgType::Pong;
+            reply["version"] = kProtocolVersion;
+            return reply;
+        }
+        case MsgType::WisdomGet: {
+            reply_type = MsgType::WisdomReply;
+            return wisdom_.get(
+                payload.get_string_or("kernel", ""),
+                payload.get_string_or("device_name", ""),
+                payload.get_string_or("device_arch", ""),
+                payload.contains("problem") ? payload["problem"] : json::Value::array());
+        }
+        case MsgType::WisdomPut: {
+            reply_type = MsgType::WisdomPutReply;
+            const WisdomStore::PutResult result = wisdom_.put(
+                payload.get_string_or("kernel", ""),
+                payload.contains("record") ? payload["record"] : json::Value());
+            reply["accepted"] = result.accepted;
+            if (!result.reason.empty()) {
+                reply["reason"] = result.reason;
+            }
+            return reply;
+        }
+        case MsgType::ArtifactGet: {
+            reply_type = MsgType::ArtifactReply;
+            const std::optional<std::string> entry
+                = artifacts_.get(payload.get_string_or("id", ""));
+            reply["found"] = entry.has_value();
+            if (entry) {
+                reply["entry"] = *entry;
+            }
+            return reply;
+        }
+        case MsgType::ArtifactPut: {
+            reply_type = MsgType::ArtifactPutReply;
+            const ArtifactStore::PutResult result = artifacts_.put(
+                payload.get_string_or("id", ""), payload.get_string_or("entry", ""));
+            reply["accepted"] = result.accepted;
+            if (!result.reason.empty()) {
+                reply["reason"] = result.reason;
+            }
+            return reply;
+        }
+        case MsgType::Stats: {
+            reply_type = MsgType::StatsReply;
+            return stats();
+        }
+        case MsgType::ArtifactList: {
+            reply_type = MsgType::ArtifactListReply;
+            json::Value ids = json::Value::array();
+            for (const std::string& id : artifacts_.ids()) {
+                ids.push_back(id);
+            }
+            reply["ids"] = std::move(ids);
+            return reply;
+        }
+        default:
+            throw Error(
+                std::string("unexpected message type ") + msg_type_name(type)
+                + " (replies are not requests)");
+    }
+}
+
+json::Value Server::stats() const {
+    json::Value out = json::Value::object();
+    out["protocol_version"] = kProtocolVersion;
+    out["kernels"] = static_cast<uint64_t>(wisdom_.kernel_count());
+    out["records"] = static_cast<uint64_t>(wisdom_.record_count());
+    out["artifacts"] = static_cast<uint64_t>(artifacts_.count());
+    out["artifact_bytes"] = artifacts_.bytes();
+    json::Value requests = json::Value::object();
+    {
+        std::lock_guard<std::mutex> lock(counters_mutex_);
+        out["connections"] = connections_;
+        out["protocol_errors"] = protocol_errors_;
+        for (const auto& [name, count] : request_counts_) {
+            requests[name] = count;
+        }
+    }
+    out["requests"] = std::move(requests);
+    return out;
+}
+
+}  // namespace kl::netwisdom

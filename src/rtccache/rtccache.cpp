@@ -205,34 +205,22 @@ std::string DiskCache::entry_path(const CacheKey& key) const {
     return path_join(settings_.resolved_dir(), key.id() + ".json");
 }
 
-std::optional<CachedResult> DiskCache::load(const CacheKey& key) const {
-    if (!readable()) {
-        return std::nullopt;
-    }
-    const std::string path = entry_path(key);
-    if (!file_exists(path)) {
-        return std::nullopt;
-    }
-    trace::HostSpan span("cache", "cache.disk.load", {{"entry", key.id()}});
-
-    std::string text;
-    try {
-        text = read_text_file(path);
-    } catch (const Error&) {
-        return std::nullopt;  // raced with eviction/clear: a plain miss
-    }
-
+EntryDecode decode_entry(
+    const std::string& text,
+    const CacheKey& key,
+    CachedResult& out,
+    std::string* error) {
     json::Value payload;
     try {
         payload = checked_payload(text);
         if (payload["key"].get_string_or("id", "") != key.id()) {
-            throw Error("entry id does not match its file name");
+            throw Error("entry id does not match the requested key");
         }
-    } catch (const Error&) {
-        // Damaged or foreign bytes: move the file aside so it cannot fail
-        // again, and let the caller recompile. Never an error.
-        quarantine(settings_.resolved_dir(), path);
-        return std::nullopt;
+    } catch (const Error& e) {
+        if (error != nullptr) {
+            *error = e.what();
+        }
+        return EntryDecode::Corrupt;
     }
 
     // Reconstruct the kernel image. The host implementation and the cost
@@ -241,11 +229,11 @@ std::optional<CachedResult> DiskCache::load(const CacheKey& key) const {
     std::shared_ptr<const rtc::KernelEntry> entry =
         rtc::KernelRegistry::global().find(key.kernel_name);
     if (entry == nullptr) {
-        return std::nullopt;  // family not registered in this process
+        return EntryDecode::Unregistered;
     }
     try {
         const json::Value& result = payload["result"];
-        CachedResult out;
+        out.image = sim::KernelImage();
         out.image.name = key.kernel_name;
         out.image.lowered_name = result["lowered_name"].as_string();
         out.image.arch = result["arch"].as_string();
@@ -269,17 +257,68 @@ std::optional<CachedResult> DiskCache::load(const CacheKey& key) const {
         out.log = result.get_string_or("log", "");
         out.modeled_compile_seconds = result["compile_seconds"].as_double();
         out.entry_bytes = text.size();
-
-        // LRU "use" mark; best-effort (a read-only cache dir is fine).
-        try {
-            touch_file(path);
-        } catch (const Error&) {
+        return EntryDecode::Ok;
+    } catch (const Error& e) {
+        if (error != nullptr) {
+            *error = e.what();
         }
-        return out;
-    } catch (const Error&) {
-        quarantine(settings_.resolved_dir(), path);
+        return EntryDecode::Corrupt;
+    }
+}
+
+EntryCheck validate_entry_text(const std::string& text) {
+    EntryCheck check;
+    try {
+        json::Value payload = checked_payload(text);
+        const json::Value& key = payload["key"];
+        check.id = key.get_string_or("id", "");
+        check.kernel = key.get_string_or("kernel", "");
+        if (check.id.empty() || !starts_with(check.id, "klc-")) {
+            throw Error("entry has no usable id");
+        }
+        check.valid = true;
+    } catch (const Error& e) {
+        check.valid = false;
+        check.error = e.what();
+    }
+    return check;
+}
+
+std::optional<CachedResult> DiskCache::load(const CacheKey& key) const {
+    if (!readable()) {
         return std::nullopt;
     }
+    const std::string path = entry_path(key);
+    if (!file_exists(path)) {
+        return std::nullopt;
+    }
+    trace::HostSpan span("cache", "cache.disk.load", {{"entry", key.id()}});
+
+    std::string text;
+    try {
+        text = read_text_file(path);
+    } catch (const Error&) {
+        return std::nullopt;  // raced with eviction/clear: a plain miss
+    }
+
+    CachedResult out;
+    switch (decode_entry(text, key, out)) {
+        case EntryDecode::Ok:
+            // LRU "use" mark; best-effort (a read-only cache dir is fine).
+            try {
+                touch_file(path);
+            } catch (const Error&) {
+            }
+            return out;
+        case EntryDecode::Unregistered:
+            return std::nullopt;  // family not registered in this process
+        case EntryDecode::Corrupt:
+            // Damaged or foreign bytes: move the file aside so it cannot
+            // fail again, and let the caller recompile. Never an error.
+            quarantine(settings_.resolved_dir(), path);
+            return std::nullopt;
+    }
+    return std::nullopt;
 }
 
 namespace {
@@ -337,6 +376,73 @@ size_t evict_over_limit(const std::string& dir, uint64_t limit_bytes) {
 
 }  // namespace
 
+std::string encode_entry(
+    const CacheKey& key,
+    const sim::KernelImage& image,
+    const std::string& log,
+    double compile_seconds) {
+    json::Value key_json = json::Value::object();
+    key_json["id"] = key.id();
+    key_json["kernel"] = key.kernel_name;
+    key_json["device_arch"] = key.device_arch;
+    key_json["source_bytes"] = static_cast<uint64_t>(key.source.size());
+    json::Value options = json::Value::array();
+    for (const std::string& option : key.options) {
+        options.push_back(option);
+    }
+    key_json["options"] = std::move(options);
+    key_json["name_expression"] = key.name_expression;
+
+    json::Value result = json::Value::object();
+    result["lowered_name"] = image.lowered_name;
+    result["arch"] = image.arch;
+    json::Value constants = json::Value::object();
+    for (const auto& [name, value] : image.constants.all()) {
+        constants[name] = value;
+    }
+    result["constants"] = std::move(constants);
+    result["registers_per_thread"] = image.registers_per_thread;
+    result["squeezed_registers"] = image.squeezed_registers;
+    result["spilled_registers"] = image.spilled_registers;
+    result["static_shared_memory"] = image.static_shared_memory;
+    result["element_size"] = static_cast<uint64_t>(image.element_size);
+    result["log"] = log;
+    result["compile_seconds"] = compile_seconds;
+    result["ptx"] = image.ptx;
+
+    json::Value payload = json::Value::object();
+    payload["format"] = kFormatVersion;
+    payload["key"] = std::move(key_json);
+    payload["result"] = std::move(result);
+
+    json::Value root = json::Value::object();
+    root["checksum"] = hex64(fnv1a_field(kFnvOffset, payload.dump()));
+    root["payload"] = std::move(payload);
+    return root.dump_pretty(2) + "\n";
+}
+
+namespace {
+
+/// Atomic entry write + LRU enforcement; caller already validated `text`.
+void write_entry_locked(
+    const std::string& dir,
+    const std::string& entry_file,
+    const std::string& text,
+    uint64_t limit_bytes) {
+    create_directories(dir);
+    FileLock lock(path_join(dir, ".lock"), FileLock::Type::Exclusive);
+    const std::string tmp = path_join(
+        dir,
+        ".tmp-" + std::to_string(::getpid()) + "-"
+            + std::to_string(g_unique_counter.fetch_add(1)));
+    write_text_file(tmp, text);
+    rename_file(tmp, entry_file);
+    bump("kl.cache.disk.write");
+    evict_over_limit(dir, limit_bytes);
+}
+
+}  // namespace
+
 void DiskCache::store(
     const CacheKey& key,
     const sim::KernelImage& image,
@@ -347,60 +453,29 @@ void DiskCache::store(
     }
     trace::HostSpan span("cache", "cache.disk.store", {{"entry", key.id()}});
     try {
-        const std::string dir = settings_.resolved_dir();
-        create_directories(dir);
-
-        json::Value key_json = json::Value::object();
-        key_json["id"] = key.id();
-        key_json["kernel"] = key.kernel_name;
-        key_json["device_arch"] = key.device_arch;
-        key_json["source_bytes"] = static_cast<uint64_t>(key.source.size());
-        json::Value options = json::Value::array();
-        for (const std::string& option : key.options) {
-            options.push_back(option);
-        }
-        key_json["options"] = std::move(options);
-        key_json["name_expression"] = key.name_expression;
-
-        json::Value result = json::Value::object();
-        result["lowered_name"] = image.lowered_name;
-        result["arch"] = image.arch;
-        json::Value constants = json::Value::object();
-        for (const auto& [name, value] : image.constants.all()) {
-            constants[name] = value;
-        }
-        result["constants"] = std::move(constants);
-        result["registers_per_thread"] = image.registers_per_thread;
-        result["squeezed_registers"] = image.squeezed_registers;
-        result["spilled_registers"] = image.spilled_registers;
-        result["static_shared_memory"] = image.static_shared_memory;
-        result["element_size"] = static_cast<uint64_t>(image.element_size);
-        result["log"] = log;
-        result["compile_seconds"] = compile_seconds;
-        result["ptx"] = image.ptx;
-
-        json::Value payload = json::Value::object();
-        payload["format"] = kFormatVersion;
-        payload["key"] = std::move(key_json);
-        payload["result"] = std::move(result);
-
-        json::Value root = json::Value::object();
-        root["checksum"] = hex64(fnv1a_field(kFnvOffset, payload.dump()));
-        root["payload"] = std::move(payload);
-        const std::string text = root.dump_pretty(2) + "\n";
-
-        FileLock lock(path_join(dir, ".lock"), FileLock::Type::Exclusive);
-        const std::string tmp = path_join(
-            dir,
-            ".tmp-" + std::to_string(::getpid()) + "-"
-                + std::to_string(g_unique_counter.fetch_add(1)));
-        write_text_file(tmp, text);
-        rename_file(tmp, entry_path(key));
-        bump("kl.cache.disk.write");
-        evict_over_limit(dir, settings_.limit_bytes);
+        const std::string text = encode_entry(key, image, log, compile_seconds);
+        write_entry_locked(settings_.resolved_dir(), entry_path(key), text, settings_.limit_bytes);
     } catch (const Error&) {
         // Best-effort: an unwritable cache never fails a compilation.
         bump("kl.cache.disk.write_errors");
+    }
+}
+
+bool DiskCache::store_text(const CacheKey& key, const std::string& text) const {
+    if (!writable()) {
+        return false;
+    }
+    const EntryCheck check = validate_entry_text(text);
+    if (!check.valid || check.id != key.id()) {
+        return false;  // never persist bytes that would be quarantined on read
+    }
+    trace::HostSpan span("cache", "cache.disk.store", {{"entry", key.id()}});
+    try {
+        write_entry_locked(settings_.resolved_dir(), entry_path(key), text, settings_.limit_bytes);
+        return true;
+    } catch (const Error&) {
+        bump("kl.cache.disk.write_errors");
+        return false;
     }
 }
 

@@ -130,6 +130,11 @@ class DiskCache {
         const std::string& log,
         double compile_seconds) const;
 
+    /// Persists pre-encoded entry text (a network artifact, validated
+    /// against `key` first) under the same atomic-write/LRU discipline as
+    /// store(). Returns whether the entry landed. No-op unless writable.
+    bool store_text(const CacheKey& key, const std::string& text) const;
+
     // ---- directory-level operations (kl-cache CLI, tests) ----
 
     struct EntryInfo {
@@ -172,6 +177,48 @@ class DiskCache {
   private:
     Settings settings_;
 };
+
+// ---- entry text codec ----
+//
+// The byte format of one cache entry (checksum-wrapped JSON) is also the
+// unit the distributed tier moves around: kl-wisdomd stores and serves
+// verbatim entry texts, and a network artifact hit is decoded by exactly
+// the code below (docs/DISTRIBUTED.md). Keeping encode/decode/validate as
+// free functions guarantees local and remote entries can never drift.
+
+/// Serializes one compiled instance as entry text — precisely the bytes
+/// DiskCache::store writes to disk.
+std::string encode_entry(
+    const CacheKey& key,
+    const sim::KernelImage& image,
+    const std::string& log,
+    double compile_seconds);
+
+/// Outcome of decoding entry text.
+enum class EntryDecode {
+    Ok,
+    Corrupt,       ///< parse/checksum/format/id failure — quarantine-worthy
+    Unregistered,  ///< entry is fine but the kernel family is not registered
+};
+
+/// Decodes entry text into a CachedResult for `key`. On Corrupt, `error`
+/// (when given) receives the human-readable reason.
+EntryDecode decode_entry(
+    const std::string& text,
+    const CacheKey& key,
+    CachedResult& out,
+    std::string* error = nullptr);
+
+/// Shallow validation of entry text: parse + checksum + format version +
+/// id-matches-key fields. Does not require the kernel family to be
+/// registered, so the daemon can vet uploads for kernels it never runs.
+struct EntryCheck {
+    bool valid = false;
+    std::string id;      ///< embedded entry id ("" when unreadable)
+    std::string kernel;  ///< base kernel name ("" when unreadable)
+    std::string error;   ///< reason when !valid
+};
+EntryCheck validate_entry_text(const std::string& text);
 
 /// Modeled warm-start cost of reading + validating a cache entry of
 /// `bytes`: one filesystem round-trip plus parse at memory-ish bandwidth.

@@ -3,6 +3,7 @@
 #include <limits>
 #include <map>
 
+#include "netwisdom/client.hpp"
 #include "trace/trace.hpp"
 #include "util/errors.hpp"
 #include "util/fs.hpp"
@@ -144,6 +145,17 @@ TuningResult tune_capture_to_wisdom(
         core::WisdomFile wisdom = core::WisdomFile::load(path, capture.def.key());
         wisdom.add(record);
         wisdom.save(path);
+
+        // Share the result with the fleet: when a wisdom server is
+        // configured, push the record so other nodes select this config
+        // without re-tuning (docs/DISTRIBUTED.md). Best-effort and
+        // fail-open, like every network interaction.
+        if (auto net = netwisdom::client_for(netwisdom::Settings::from_env())) {
+            if (net->wisdom_put(capture.def.key(), record.to_json())
+                && trace::counters_enabled()) {
+                trace::counter("kl.net.wisdom.push").add(1);
+            }
+        }
     }
     return result;
 }

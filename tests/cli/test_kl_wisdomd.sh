@@ -1,0 +1,97 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the distributed wisdom daemon: starts
+# kl-wisdomd on an ephemeral port, warms it by running the quickstart
+# example on "node 1" (KERNEL_LAUNCHER_WISDOM_SERVER set), then proves a
+# fresh "node 2" process — empty wisdom dir, empty compile cache — gets
+# its first launch served over the network with zero NVRTC compiles.
+# Also drives kl-cache push/pull/stats --remote against the same daemon.
+#
+# Usage: test_kl_wisdomd.sh <kl-wisdomd-binary> <kl-cache-binary> <quickstart-binary>
+set -u
+
+KL_WISDOMD=$1
+KL_CACHE=$2
+QUICKSTART=$3
+
+tmp=$(mktemp -d)
+daemon_pid=""
+cleanup() {
+    if [ -n "$daemon_pid" ] && kill -0 "$daemon_pid" 2> /dev/null; then
+        kill -TERM "$daemon_pid" 2> /dev/null
+        wait "$daemon_pid" 2> /dev/null
+    fi
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "FAIL: $*" >&2
+    exit 1
+}
+
+# --- start the daemon on an ephemeral port -------------------------------
+"$KL_WISDOMD" --port-file "$tmp/port" --dir "$tmp/daemon-artifacts" \
+    > "$tmp/daemon.out" 2> "$tmp/daemon.err" &
+daemon_pid=$!
+for _ in $(seq 50); do
+    [ -s "$tmp/port" ] && break
+    sleep 0.1
+done
+[ -s "$tmp/port" ] || fail "daemon never wrote its port file"
+port=$(cat "$tmp/port")
+server="127.0.0.1:$port"
+grep -q "kl-wisdomd listening on $server" "$tmp/daemon.out" \
+    || fail "daemon missing listening line"
+
+# --- node 1: tune + compile, publishing to the daemon --------------------
+# (quickstart always uses a fresh temp wisdom dir, so each run really is a
+# cold node: only the daemon carries state between them)
+KERNEL_LAUNCHER_WISDOM_SERVER="$server" \
+    KERNEL_LAUNCHER_CACHE=readwrite KERNEL_LAUNCHER_CACHE_DIR="$tmp/node1-cache" \
+    "$QUICKSTART" > "$tmp/node1.out" || fail "quickstart on node 1 failed"
+grep -q "quickstart OK" "$tmp/node1.out" || fail "node 1 quickstart not OK"
+
+out=$("$KL_CACHE" --remote "$server" stats) || fail "remote stats exited non-zero"
+echo "$out" | grep -q "\"protocol_version\": 1" || fail "remote stats missing protocol version"
+echo "$out" | grep -Eq "\"records\": [1-9]" || fail "node 1 pushed no wisdom records"
+echo "$out" | grep -Eq "\"artifacts\": [1-9]" || fail "node 1 pushed no artifacts"
+
+# --- node 2: fresh everything; first launch must not compile -------------
+KERNEL_LAUNCHER_WISDOM_SERVER="$server" \
+    KERNEL_LAUNCHER_CACHE=readwrite KERNEL_LAUNCHER_CACHE_DIR="$tmp/node2-cache" \
+    "$QUICKSTART" > "$tmp/node2.out" || fail "quickstart on node 2 failed"
+grep -q "quickstart OK" "$tmp/node2.out" || fail "node 2 quickstart not OK"
+grep -q "compile 0 ms" "$tmp/node2.out" \
+    || fail "node 2 first launch compiled instead of fetching (got: $(head -1 "$tmp/node2.out"))"
+ls "$tmp/node2-cache"/klc-*.json > /dev/null 2>&1 \
+    || fail "served artifact was not written through to node 2's cache"
+
+out=$("$KL_CACHE" --remote "$server" stats) || fail "remote stats (2) exited non-zero"
+echo "$out" | grep -Eq "\"artifact-get\": [1-9]" || fail "node 2 never asked for an artifact"
+echo "$out" | grep -Eq "\"wisdom-get\": [1-9]" || fail "node 2 never asked for wisdom"
+
+# --- kl-cache pull: pre-warm a node without launching anything -----------
+out=$("$KL_CACHE" --dir "$tmp/pulled" --remote "$server" pull) || fail "pull exited non-zero"
+echo "$out" | grep -Eq "pulled [1-9]" || fail "pull fetched nothing"
+"$KL_CACHE" --dir "$tmp/pulled" verify > /dev/null || fail "pulled entries fail verify"
+
+# --- kl-cache push: seed a daemon from an existing cache directory -------
+out=$("$KL_CACHE" --dir "$tmp/node1-cache" --remote "$server" push) || fail "push exited non-zero"
+echo "$out" | grep -Eq "pushed [0-9]+ entr" || fail "push missing summary line"
+
+# --- error paths ---------------------------------------------------------
+"$KL_CACHE" push > /dev/null 2>&1
+[ $? -eq 2 ] || fail "push without a remote should exit 2"
+"$KL_CACHE" --remote "$server" --dir "$tmp/empty" stats > /dev/null \
+    || fail "remote stats with --dir should still work"
+"$KL_CACHE" --remote "not-an-address" stats > /dev/null 2>&1
+[ $? -eq 1 ] || fail "malformed remote should exit 1"
+
+# --- clean shutdown ------------------------------------------------------
+kill -TERM "$daemon_pid"
+wait "$daemon_pid"
+[ $? -eq 0 ] || fail "daemon did not exit cleanly on SIGTERM"
+daemon_pid=""
+grep -q "shut down" "$tmp/daemon.err" || fail "daemon missing shutdown summary"
+
+echo "kl-wisdomd smoke OK"

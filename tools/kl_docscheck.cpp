@@ -6,12 +6,14 @@
 //   2. Anchor links (`file.md#section`, `#section`) match a heading in the
 //      target file, using GitHub's heading-slug rules.
 //   3. Every KERNEL_LAUNCHER_* environment variable referenced anywhere in
-//      src/, tools/, tests/ or scripts/ is documented in at least one
-//      markdown file, and every one the docs mention exists in the
+//      src/, tools/, tests/ or scripts/ appears in README.md (the
+//      single-table contract: "all runtime behavior knobs in one place"),
+//      and every variable any markdown file mentions exists in the
 //      sources — both directions.
 //   4. Every binary built under tools/ (each add_executable target in
-//      tools/CMakeLists.txt) is mentioned in README.md, so a new CLI
-//      cannot ship without an entry in the tools table.
+//      tools/CMakeLists.txt) has a README *heading* naming it — a new CLI
+//      cannot ship without its own section, a passing mention is not
+//      enough.
 //   5. Every markdown file under docs/ is linked from README.md (by its
 //      repo-relative path), so a new document cannot ship without an
 //      entry in the README's document index.
@@ -348,10 +350,19 @@ int main(int argc, char** argv) {
         }
 
         // Both directions: undocumented source vars, phantom doc vars.
+        // The forward direction is checked against README.md specifically:
+        // its environment table is documented as the one place listing
+        // every knob, so "mentioned in some other doc" does not count.
+        const std::string readme_key = kl::path_join(root, "README.md");
+        const auto readme_vars_it = doc_env_vars.find(readme_key);
         for (const auto& [var, origin] : src_var_origin) {
-            if (all_doc_vars.count(var) == 0) {
+            if (readme_vars_it == doc_env_vars.end()
+                || readme_vars_it->second.count(var) == 0) {
                 findings.push_back(
-                    {origin, 0, "environment variable " + var + " is not documented"});
+                    {origin,
+                     0,
+                     "environment variable " + var
+                         + " is missing from the README's environment table"});
             }
         }
         for (const auto& [file, vars] : doc_env_vars) {
@@ -363,17 +374,29 @@ int main(int argc, char** argv) {
             }
         }
 
-        // Pass 3: every tools/ binary is mentioned in the README.
+        // Pass 3: every tools/ binary has its own README section — some
+        // heading must name it.
         const std::string readme_path = kl::path_join(root, "README.md");
         const std::vector<std::string> tools = tool_targets(root);
         if (kl::file_exists(readme_path)) {
             const std::string readme = kl::read_text_file(readme_path);
+            std::vector<std::string> headings;
+            for (const DocLine& line : split_doc_lines(readme)) {
+                if (!line.fenced && !line.text.empty() && line.text[0] == '#') {
+                    headings.push_back(line.text);
+                }
+            }
             for (const std::string& tool : tools) {
-                if (readme.find(tool) == std::string::npos) {
+                const bool has_section = std::any_of(
+                    headings.begin(), headings.end(), [&](const std::string& heading) {
+                        return heading.find(tool) != std::string::npos;
+                    });
+                if (!has_section) {
                     findings.push_back(
                         {readme_path,
                          0,
-                         "tools binary '" + tool + "' is not mentioned in the README"});
+                         "tools binary '" + tool
+                             + "' has no README section (no heading names it)"});
                 }
             }
 

@@ -1,0 +1,115 @@
+// kl-wisdomd: the distributed wisdom & compile-cache daemon
+// (src/netwisdom/, docs/DISTRIBUTED.md). Serves tuned-configuration
+// answers and compiled-instance artifacts to every process that sets
+// KERNEL_LAUNCHER_WISDOM_SERVER=host:port — tune once, warm a fleet.
+//
+// Usage:
+//   kl-wisdomd [--bind ADDR] [--port PORT] [--dir DIR] [--wisdom-dir DIR]
+//              [--port-file FILE] [--verbose]
+//
+//   --bind ADDR       listen address (default 127.0.0.1)
+//   --port PORT       listen port; 0 picks an ephemeral port (default 0)
+//   --dir DIR         persist artifacts as <id>.json in DIR (rtccache
+//                     entry layout, so an existing cache directory seeds
+//                     the daemon); default: in-memory only
+//   --wisdom-dir DIR  persist aggregated wisdom as <kernel>.wisdom.json
+//                     in DIR; default: in-memory only
+//   --port-file FILE  write the bound port to FILE once listening
+//                     (how scripts discover an ephemeral port)
+//   --verbose         log one line per request to stderr
+//
+// Prints "kl-wisdomd listening on ADDR:PORT" on stdout once ready, then
+// serves until SIGINT/SIGTERM. Exit status: 0 on clean shutdown, 1 when
+// the address cannot be bound, 2 on usage errors.
+
+#include <signal.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "netwisdom/server.hpp"
+#include "util/errors.hpp"
+#include "util/fs.hpp"
+
+namespace {
+
+std::atomic<bool> g_stop {false};
+
+void handle_signal(int) {
+    g_stop.store(true);
+}
+
+void usage(std::FILE* out) {
+    std::fprintf(
+        out,
+        "usage: kl-wisdomd [--bind ADDR] [--port PORT] [--dir DIR]\n"
+        "                  [--wisdom-dir DIR] [--port-file FILE] [--verbose]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    kl::netwisdom::ServerOptions options;
+    std::string port_file;
+    for (int i = 1; i < argc; i++) {
+        const std::string arg = argv[i];
+        auto next = [&](const char* what) -> const char* {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "kl-wisdomd: %s requires a value\n", what);
+                usage(stderr);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--bind") {
+            options.bind_address = next("--bind");
+        } else if (arg == "--port") {
+            options.port = static_cast<uint16_t>(std::atoi(next("--port")));
+        } else if (arg == "--dir") {
+            options.artifact_dir = next("--dir");
+        } else if (arg == "--wisdom-dir") {
+            options.wisdom_dir = next("--wisdom-dir");
+        } else if (arg == "--port-file") {
+            port_file = next("--port-file");
+        } else if (arg == "--verbose") {
+            options.verbose = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(stdout);
+            return 0;
+        } else {
+            std::fprintf(stderr, "kl-wisdomd: unknown option '%s'\n", arg.c_str());
+            usage(stderr);
+            return 2;
+        }
+    }
+
+    signal(SIGINT, handle_signal);
+    signal(SIGTERM, handle_signal);
+
+    try {
+        kl::netwisdom::Server server(options);
+        server.start();
+        std::printf(
+            "kl-wisdomd listening on %s:%u\n",
+            options.bind_address.c_str(),
+            static_cast<unsigned>(server.port()));
+        std::fflush(stdout);
+        if (!port_file.empty()) {
+            kl::write_text_file(port_file, std::to_string(server.port()) + "\n");
+        }
+        while (!g_stop.load()) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        }
+        server.stop();
+        const kl::json::Value stats = server.stats();
+        std::fprintf(stderr, "kl-wisdomd: shut down; %s\n", stats.dump().c_str());
+        return 0;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "kl-wisdomd: %s\n", e.what());
+        return 1;
+    }
+}
